@@ -1,0 +1,52 @@
+// Command rkasm assembles RK64 source into a listing (disassembly plus
+// segment map), primarily for inspecting what the toolchain produces.
+//
+// Usage:
+//
+//	rkasm prog.s
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"rocksim/internal/asm"
+	"rocksim/internal/isa"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: rkasm <file.s>")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := asm.Assemble(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("entry %#x\n", prog.Entry)
+	for _, seg := range prog.Segments {
+		fmt.Printf("segment %#x..%#x (%d bytes)\n", seg.Addr, seg.Addr+uint64(len(seg.Data)), len(seg.Data))
+	}
+	// Disassemble the segment containing the entry point.
+	for _, seg := range prog.Segments {
+		if prog.Entry < seg.Addr || prog.Entry >= seg.Addr+uint64(len(seg.Data)) {
+			continue
+		}
+		for off := 0; off+isa.InstSize <= len(seg.Data); off += isa.InstSize {
+			in, err := isa.Decode(seg.Data[off:])
+			if err != nil {
+				break
+			}
+			fmt.Printf("%#8x:  %v\n", seg.Addr+uint64(off), in)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rkasm:", err)
+	os.Exit(1)
+}

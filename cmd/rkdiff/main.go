@@ -1,0 +1,91 @@
+// Command rkdiff compares two execution traces (produced by rkrun
+// -trace) and reports the first point of divergence: the debugging
+// workflow for "two runs should have executed the same instructions".
+//
+// Usage:
+//
+//	rkdiff a.rktr b.rktr
+//	rkdiff -context 5 a.rktr b.rktr
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"rocksim/internal/trace"
+)
+
+func main() {
+	context := flag.Int("context", 3, "matching records to show before a divergence")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: rkdiff [-context n] <a.rktr> <b.rktr>")
+		os.Exit(2)
+	}
+	ra, err := openTrace(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	rb, err := openTrace(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+
+	var history []trace.Record
+	idx := uint64(0)
+	for {
+		a, errA := ra.Read()
+		b, errB := rb.Read()
+		endA := errors.Is(errA, io.EOF)
+		endB := errors.Is(errB, io.EOF)
+		switch {
+		case errA != nil && !endA:
+			fatal(fmt.Errorf("%s: %w", flag.Arg(0), errA))
+		case errB != nil && !endB:
+			fatal(fmt.Errorf("%s: %w", flag.Arg(1), errB))
+		case endA && endB:
+			fmt.Printf("traces identical: %d records\n", idx)
+			return
+		case endA != endB:
+			fmt.Printf("length mismatch at record %d: %s ended first\n", idx, shorter(endA, flag.Arg(0), flag.Arg(1)))
+			os.Exit(1)
+		}
+		if a != b {
+			fmt.Printf("divergence at record %d:\n", idx)
+			for i, h := range history {
+				fmt.Printf("  =%-6d pc=%#x  %v\n", int(idx)-len(history)+i, h.PC, h.Inst)
+			}
+			fmt.Printf("  A:%-5d pc=%#x  %v  addr=%#x\n", idx, a.PC, a.Inst, a.Addr)
+			fmt.Printf("  B:%-5d pc=%#x  %v  addr=%#x\n", idx, b.PC, b.Inst, b.Addr)
+			os.Exit(1)
+		}
+		history = append(history, a)
+		if len(history) > *context {
+			history = history[1:]
+		}
+		idx++
+	}
+}
+
+func shorter(endA bool, a, b string) string {
+	if endA {
+		return a
+	}
+	return b
+}
+
+func openTrace(path string) (*trace.Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return trace.NewReader(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rkdiff:", err)
+	os.Exit(1)
+}

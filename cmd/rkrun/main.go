@@ -1,0 +1,111 @@
+// Command rkrun executes an RK64 program on the golden functional
+// emulator — no timing, just architecture. It can capture an execution
+// trace and print a workload characterization summary.
+//
+// Usage:
+//
+//	rkrun prog.s
+//	rkrun -trace out.rktr -summary prog.s
+//	rkrun -workload oltp -summary        # trace a built-in workload
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+
+	"rocksim/internal/asm"
+	"rocksim/internal/isa"
+	"rocksim/internal/mem"
+	"rocksim/internal/trace"
+	"rocksim/internal/workload"
+)
+
+func main() {
+	traceFile := flag.String("trace", "", "write an execution trace to this file")
+	summary := flag.Bool("summary", false, "print a trace summary (instruction mix, footprint)")
+	wl := flag.String("workload", "", "run a built-in workload instead of a source file")
+	maxInsts := flag.Uint64("max", 500_000_000, "instruction budget")
+	flag.Parse()
+
+	var prog *asm.Program
+	switch {
+	case *wl != "":
+		w, err := workload.Build(*wl, workload.ScaleTest)
+		if err != nil {
+			fatal(err)
+		}
+		prog = w.Program
+	case flag.NArg() == 1:
+		src, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		prog, err = asm.Assemble(string(src))
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: rkrun [-trace f] [-summary] (<file.s> | -workload name)")
+		os.Exit(2)
+	}
+
+	m := mem.NewSparse()
+	prog.Load(m)
+	emu := isa.NewEmulator(prog.Entry, m)
+
+	var buf bytes.Buffer
+	var col *trace.Collector
+	if *traceFile != "" || *summary {
+		tw, err := trace.NewWriter(&buf)
+		if err != nil {
+			fatal(err)
+		}
+		col = &trace.Collector{W: tw, Emu: emu}
+		emu.Hook = col.Hook()
+	}
+
+	if err := emu.Run(*maxInsts); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("executed %d instructions, final pc %#x\n", emu.Executed, emu.PC)
+	for r := 1; r < isa.NumRegs; r++ {
+		if emu.Reg[r] != 0 {
+			fmt.Printf("  r%-2d = %#x (%d)\n", r, uint64(emu.Reg[r]), emu.Reg[r])
+		}
+	}
+
+	if col != nil {
+		if col.Err != nil {
+			fatal(col.Err)
+		}
+		if err := col.W.Flush(); err != nil {
+			fatal(err)
+		}
+		if *traceFile != "" {
+			if err := os.WriteFile(*traceFile, buf.Bytes(), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("trace: %d records -> %s\n", col.W.Count(), *traceFile)
+		}
+		if *summary {
+			tr, err := trace.NewReader(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				fatal(err)
+			}
+			s, err := trace.Summarize(tr)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("mix: %.1f%% loads, %.1f%% stores, %.1f%% branches, %d atomics, %d long ops\n",
+				s.LoadPct(), s.StorePct(), s.BranchPct(), s.Atomics, s.LongOps)
+			fmt.Printf("data footprint: %d lines (%.1f KiB)\n", s.TouchedLines, float64(s.TouchedLines)*64/1024)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rkrun:", err)
+	os.Exit(1)
+}

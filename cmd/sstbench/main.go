@@ -1,0 +1,66 @@
+// Command sstbench regenerates the tables and figures of the reproduced
+// SST evaluation (see DESIGN.md and EXPERIMENTS.md).
+//
+// Usage:
+//
+//	sstbench                  # run every experiment at full scale
+//	sstbench -exp F1,F7       # run selected experiments
+//	sstbench -scale test      # small workloads (fast smoke run)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"rocksim/internal/experiments"
+	"rocksim/internal/workload"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "comma-separated experiment ids (T1, T2, F1..F16, T3) or 'all'")
+	scaleFlag := flag.String("scale", "full", "workload scale: test | full")
+	chart := flag.Bool("chart", false, "also render each figure as ASCII bar charts")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.All {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	scale := workload.ScaleFull
+	switch *scaleFlag {
+	case "full":
+	case "test":
+		scale = workload.ScaleTest
+	default:
+		fmt.Fprintf(os.Stderr, "sstbench: bad -scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	ids := experiments.All
+	if *exp != "all" {
+		ids = strings.Split(*exp, ",")
+	}
+
+	r := experiments.NewRunner()
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		start := time.Now()
+		res, err := r.Run(id, scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sstbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		res.Fprint(os.Stdout)
+		if *chart {
+			res.FprintCharts(os.Stdout)
+		}
+		fmt.Printf("(%s regenerated in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,104 @@
+package rocksim_test
+
+import (
+	"fmt"
+
+	"rocksim"
+)
+
+// ExampleRun shows the simplest complete simulation: assemble a
+// program, run it on the SST machine, read the results.
+func ExampleRun() {
+	prog, err := rocksim.Assemble(`
+		movi r1, 6
+		movi r2, 7
+		mul  r3, r1, r2
+		st64 r3, 0x100(zero)
+		halt
+	`)
+	if err != nil {
+		panic(err)
+	}
+	res, err := rocksim.Run(rocksim.SST, prog, rocksim.DefaultOptions())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("retired:", res.Retired)
+	fmt.Println("answer:", res.Mem.Read(0x100, 8))
+	// Output:
+	// retired: 5
+	// answer: 42
+}
+
+// ExampleEmulate shows the golden functional model, which defines
+// architectural truth for every timing core.
+func ExampleEmulate() {
+	prog, err := rocksim.Assemble(`
+		movi r5, 10
+		movi r6, 0
+	loop:	add  r6, r6, r5
+		addi r5, r5, -1
+		bne  r5, zero, loop
+		halt
+	`)
+	if err != nil {
+		panic(err)
+	}
+	emu, _, err := rocksim.Emulate(prog, 1000)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("sum 1..10 =", emu.Reg[6])
+	// Output:
+	// sum 1..10 = 55
+}
+
+// ExampleBuildWorkload runs a built-in benchmark on two machines and
+// compares them.
+func ExampleBuildWorkload() {
+	w, err := rocksim.BuildWorkload("dense", rocksim.ScaleTest)
+	if err != nil {
+		panic(err)
+	}
+	opts := rocksim.DefaultOptions()
+	a, err := rocksim.Run(rocksim.InOrder, w.Program, opts)
+	if err != nil {
+		panic(err)
+	}
+	b, err := rocksim.Run(rocksim.SST, w.Program, opts)
+	if err != nil {
+		panic(err)
+	}
+	// Register-resident compute: no misses, so SST cannot be slower.
+	fmt.Println("same instruction count:", a.Retired == b.Retired)
+	fmt.Println("sst at least as fast:", b.Cycles <= a.Cycles)
+	// Output:
+	// same instruction count: true
+	// sst at least as fast: true
+}
+
+// ExampleSSTStats inspects the checkpoint machinery after a run.
+func ExampleSSTStats() {
+	prog, err := rocksim.Assemble(`
+		movi r5, 0x200000
+		ld64 r6, (r5)      ; cold miss: opens a speculation epoch
+		addi r7, r6, 1     ; dependent: deferred
+		movi r8, 9         ; independent: executes under the miss
+		halt
+	`)
+	if err != nil {
+		panic(err)
+	}
+	res, err := rocksim.Run(rocksim.SST, prog, rocksim.DefaultOptions())
+	if err != nil {
+		panic(err)
+	}
+	st, ok := rocksim.SSTStats(res)
+	fmt.Println("sst stats available:", ok)
+	fmt.Println("checkpoints:", st.CheckpointsTaken, "commits:", st.EpochCommits)
+	fmt.Println("deferred:", st.Deferrals, "replayed:", st.Replays)
+	// Output:
+	// sst stats available: true
+	// checkpoints: 1 commits: 1
+	// deferred: 1 replayed: 1
+}

@@ -1,0 +1,3 @@
+module rocksim
+
+go 1.22

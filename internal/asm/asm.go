@@ -1,0 +1,638 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"rocksim/internal/isa"
+)
+
+// Assemble parses RK64 assembly source into a Program.
+//
+// Syntax overview (one statement per line; ';' or '#' starts a comment):
+//
+//	        .org 0x10000          ; set code base (before first instruction)
+//	        .entry start          ; entry point label (default: first inst)
+//	start:  movi r5, 100
+//	loop:   addi r5, r5, -1
+//	        ld64 r6, 8(r7)
+//	        st64 r6, (r8)
+//	        beq  r5, zero, done
+//	        j    loop             ; pseudo: jal r0
+//	done:   halt
+//	        .data 0x200000        ; switch to a data segment at address
+//	tbl:    .quad 1, 2, 3
+//	        .word 7               ; 4 bytes
+//	        .half 7               ; 2 bytes
+//	        .byte 7
+//	        .zero 64
+//	        .asciz "hello"
+//
+// Registers are r0..r31 with aliases zero (r0), ra (r1), sp (r2).
+// Pseudo-instructions: j label; call label; ret; li rd, imm; mv rd, rs.
+// Labels may be used wherever an immediate is expected: pc-relative in
+// branches/jal, absolute elsewhere.
+func Assemble(src string) (*Program, error) {
+	a := &assembler{
+		labels:   map[string]uint64{},
+		textBase: DefaultTextBase,
+	}
+	lines := strings.Split(src, "\n")
+	// Pass 1: lay out addresses and collect labels.
+	if err := a.pass(lines, true); err != nil {
+		return nil, err
+	}
+	// Pass 2: emit.
+	if err := a.pass(lines, false); err != nil {
+		return nil, err
+	}
+	return a.finish()
+}
+
+type assembler struct {
+	labels   map[string]uint64
+	textBase uint64
+	orgSet   bool
+
+	entryLabel string
+
+	// Emission state (both passes; only pass 2 keeps results).
+	insts []isa.Inst
+	segs  []dataSeg
+
+	// Cursor.
+	inData  bool
+	dataPos uint64
+	curSeg  *dataSeg
+	instPos int // instruction index
+}
+
+type dataSeg struct {
+	addr uint64
+	data []byte
+}
+
+func (a *assembler) pc() uint64 {
+	return a.textBase + uint64(a.instPos)*isa.InstSize
+}
+
+func (a *assembler) pass(lines []string, first bool) error {
+	a.inData = false
+	a.instPos = 0
+	a.curSeg = nil
+	a.insts = a.insts[:0]
+	a.segs = a.segs[:0]
+	for ln, raw := range lines {
+		line := stripComment(raw)
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Labels (possibly several) at line start.
+		for {
+			i := strings.IndexByte(line, ':')
+			if i < 0 {
+				break
+			}
+			head := strings.TrimSpace(line[:i])
+			if !isIdent(head) {
+				break
+			}
+			if first {
+				if _, dup := a.labels[head]; dup {
+					return fmt.Errorf("line %d: duplicate label %q", ln+1, head)
+				}
+				if a.inData {
+					a.labels[head] = a.dataPos
+				} else {
+					a.labels[head] = a.pc()
+				}
+			}
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+		if err := a.stmt(line, first); err != nil {
+			return fmt.Errorf("line %d: %w", ln+1, err)
+		}
+	}
+	return nil
+}
+
+func stripComment(s string) string {
+	inStr := false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			inStr = !inStr
+		case ';', '#':
+			if !inStr {
+				return s[:i]
+			}
+		}
+	}
+	return s
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == '.':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (a *assembler) stmt(line string, first bool) error {
+	mnem, rest := splitWord(line)
+	if strings.HasPrefix(mnem, ".") {
+		return a.directive(mnem, rest, first)
+	}
+	a.inData = false
+	in, err := a.instruction(mnem, rest, first)
+	if err != nil {
+		return err
+	}
+	a.insts = append(a.insts, in...)
+	a.instPos += len(in)
+	return nil
+}
+
+func splitWord(s string) (word, rest string) {
+	s = strings.TrimSpace(s)
+	i := strings.IndexAny(s, " \t")
+	if i < 0 {
+		return s, ""
+	}
+	return s[:i], strings.TrimSpace(s[i+1:])
+}
+
+func (a *assembler) directive(name, rest string, first bool) error {
+	switch name {
+	case ".org":
+		if a.instPos > 0 {
+			return fmt.Errorf(".org after instructions")
+		}
+		v, err := a.immValue(rest, first)
+		if err != nil {
+			return err
+		}
+		a.textBase = uint64(v)
+		a.orgSet = true
+		return nil
+	case ".entry":
+		a.entryLabel = strings.TrimSpace(rest)
+		if a.entryLabel == "" {
+			return fmt.Errorf(".entry needs a label")
+		}
+		return nil
+	case ".data":
+		v, err := a.immValue(rest, first)
+		if err != nil {
+			return err
+		}
+		a.inData = true
+		a.dataPos = uint64(v)
+		a.segs = append(a.segs, dataSeg{addr: uint64(v)})
+		a.curSeg = &a.segs[len(a.segs)-1]
+		return nil
+	case ".quad", ".word", ".half", ".byte":
+		if !a.inData {
+			return fmt.Errorf("%s outside .data", name)
+		}
+		size := map[string]int{".quad": 8, ".word": 4, ".half": 2, ".byte": 1}[name]
+		for _, f := range splitOperands(rest) {
+			v, err := a.immValue(f, first)
+			if err != nil {
+				return err
+			}
+			var buf [8]byte
+			for i := 0; i < size; i++ {
+				buf[i] = byte(uint64(v) >> (8 * i))
+			}
+			a.appendData(buf[:size])
+		}
+		return nil
+	case ".zero":
+		if !a.inData {
+			return fmt.Errorf(".zero outside .data")
+		}
+		v, err := a.immValue(rest, first)
+		if err != nil {
+			return err
+		}
+		a.appendData(make([]byte, v))
+		return nil
+	case ".asciz":
+		if !a.inData {
+			return fmt.Errorf(".asciz outside .data")
+		}
+		s, err := strconv.Unquote(strings.TrimSpace(rest))
+		if err != nil {
+			return fmt.Errorf("bad string: %v", err)
+		}
+		a.appendData(append([]byte(s), 0))
+		return nil
+	}
+	return fmt.Errorf("unknown directive %s", name)
+}
+
+func (a *assembler) appendData(b []byte) {
+	a.curSeg.data = append(a.curSeg.data, b...)
+	a.dataPos += uint64(len(b))
+}
+
+func splitOperands(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+var regAliases = map[string]uint8{"zero": 0, "ra": 1, "sp": 2}
+
+func parseReg(s string) (uint8, error) {
+	s = strings.TrimSpace(s)
+	if r, ok := regAliases[s]; ok {
+		return r, nil
+	}
+	if len(s) >= 2 && s[0] == 'r' {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n < isa.NumRegs {
+			return uint8(n), nil
+		}
+	}
+	return 0, fmt.Errorf("bad register %q", s)
+}
+
+// immValue resolves a numeric literal or label to a value. During pass 1
+// unresolved labels evaluate to 0.
+func (a *assembler) immValue(s string, first bool) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, fmt.Errorf("missing immediate")
+	}
+	if v, err := strconv.ParseInt(s, 0, 64); err == nil {
+		return v, nil
+	}
+	if v, err := strconv.ParseUint(s, 0, 64); err == nil {
+		return int64(v), nil
+	}
+	if isIdent(s) {
+		if v, ok := a.labels[s]; ok {
+			return int64(v), nil
+		}
+		if first {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("undefined symbol %q", s)
+	}
+	return 0, fmt.Errorf("bad immediate %q", s)
+}
+
+// parseMemOperand parses "imm(rN)", "(rN)" or "symbol(rN)".
+func (a *assembler) parseMemOperand(s string, first bool) (base uint8, off int32, err error) {
+	s = strings.TrimSpace(s)
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	base, err = parseReg(s[open+1 : len(s)-1])
+	if err != nil {
+		return 0, 0, err
+	}
+	immStr := strings.TrimSpace(s[:open])
+	if immStr == "" {
+		return base, 0, nil
+	}
+	v, err := a.immValue(immStr, first)
+	if err != nil {
+		return 0, 0, err
+	}
+	if v != int64(int32(v)) {
+		return 0, 0, fmt.Errorf("offset %d out of range", v)
+	}
+	return base, int32(v), nil
+}
+
+func (a *assembler) branchOffset(s string, first bool) (int32, error) {
+	v, err := a.immValue(s, first)
+	if err != nil {
+		return 0, err
+	}
+	// A bare number is taken as an already-relative offset; a label is
+	// pc-relative.
+	if isIdent(strings.TrimSpace(s)) {
+		v -= int64(a.pc())
+	}
+	if v != int64(int32(v)) {
+		return 0, fmt.Errorf("branch target out of range")
+	}
+	return int32(v), nil
+}
+
+func (a *assembler) instruction(mnem, rest string, first bool) ([]isa.Inst, error) {
+	ops := splitMemAware(rest)
+	one := func(in isa.Inst) []isa.Inst { return []isa.Inst{in} }
+
+	// Pseudo-instructions first.
+	switch mnem {
+	case "j":
+		off, err := a.branchOffset(rest, first)
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Inst{Op: isa.OpJal, Rd: isa.RegZero, Imm: off}), nil
+	case "call":
+		off, err := a.branchOffset(rest, first)
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Inst{Op: isa.OpJal, Rd: isa.RegRA, Imm: off}), nil
+	case "ret":
+		return one(isa.Inst{Op: isa.OpJalr, Rd: isa.RegZero, Rs1: isa.RegRA}), nil
+	case "li":
+		if len(ops) != 2 {
+			return nil, fmt.Errorf("li needs rd, imm")
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		v, err := a.immValue(ops[1], first)
+		if err != nil {
+			return nil, err
+		}
+		if v != int64(int32(v)) {
+			return nil, fmt.Errorf("li immediate %d does not fit 32 bits (use lui/ori sequences)", v)
+		}
+		return one(isa.Inst{Op: isa.OpMovi, Rd: rd, Imm: int32(v)}), nil
+	case "mv":
+		if len(ops) != 2 {
+			return nil, fmt.Errorf("mv needs rd, rs")
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		rs, err := parseReg(ops[1])
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Inst{Op: isa.OpAddi, Rd: rd, Rs1: rs}), nil
+	}
+
+	op, ok := isa.OpByName(mnem)
+	if !ok {
+		return nil, fmt.Errorf("unknown mnemonic %q", mnem)
+	}
+	switch op.Class() {
+	case isa.ClassNop, isa.ClassHalt, isa.ClassBarrier:
+		return one(isa.Inst{Op: op}), nil
+	case isa.ClassALU:
+		switch op {
+		case isa.OpMovi, isa.OpLui:
+			if len(ops) != 2 {
+				return nil, fmt.Errorf("%s needs rd, imm", op)
+			}
+			rd, err := parseReg(ops[0])
+			if err != nil {
+				return nil, err
+			}
+			v, err := a.immValue(ops[1], first)
+			if err != nil {
+				return nil, err
+			}
+			if v != int64(int32(v)) && uint64(v) != uint64(uint32(v)) {
+				return nil, fmt.Errorf("%s immediate out of range", op)
+			}
+			return one(isa.Inst{Op: op, Rd: rd, Imm: int32(v)}), nil
+		case isa.OpAddi, isa.OpAndi, isa.OpOri, isa.OpXori, isa.OpSlli, isa.OpSrli, isa.OpSrai, isa.OpSlti, isa.OpSltui:
+			if len(ops) != 3 {
+				return nil, fmt.Errorf("%s needs rd, rs1, imm", op)
+			}
+			rd, err := parseReg(ops[0])
+			if err != nil {
+				return nil, err
+			}
+			rs1, err := parseReg(ops[1])
+			if err != nil {
+				return nil, err
+			}
+			v, err := a.immValue(ops[2], first)
+			if err != nil {
+				return nil, err
+			}
+			if v != int64(int32(v)) {
+				return nil, fmt.Errorf("%s immediate out of range", op)
+			}
+			return one(isa.Inst{Op: op, Rd: rd, Rs1: rs1, Imm: int32(v)}), nil
+		default:
+			if len(ops) != 3 {
+				return nil, fmt.Errorf("%s needs rd, rs1, rs2", op)
+			}
+			rd, err := parseReg(ops[0])
+			if err != nil {
+				return nil, err
+			}
+			rs1, err := parseReg(ops[1])
+			if err != nil {
+				return nil, err
+			}
+			rs2, err := parseReg(ops[2])
+			if err != nil {
+				return nil, err
+			}
+			return one(isa.Inst{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2}), nil
+		}
+	case isa.ClassLoad:
+		if len(ops) != 2 {
+			return nil, fmt.Errorf("%s needs rd, off(base)", op)
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		base, off, err := a.parseMemOperand(ops[1], first)
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Inst{Op: op, Rd: rd, Rs1: base, Imm: off}), nil
+	case isa.ClassStore:
+		if len(ops) != 2 {
+			return nil, fmt.Errorf("%s needs rs2, off(base)", op)
+		}
+		rs2, err := parseReg(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		base, off, err := a.parseMemOperand(ops[1], first)
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Inst{Op: op, Rs1: base, Rs2: rs2, Imm: off}), nil
+	case isa.ClassBranch:
+		if len(ops) != 3 {
+			return nil, fmt.Errorf("%s needs rs1, rs2, target", op)
+		}
+		rs1, err := parseReg(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		rs2, err := parseReg(ops[1])
+		if err != nil {
+			return nil, err
+		}
+		off, err := a.branchOffset(ops[2], first)
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Inst{Op: op, Rs1: rs1, Rs2: rs2, Imm: off}), nil
+	case isa.ClassJump:
+		if op == isa.OpJal {
+			if len(ops) != 2 {
+				return nil, fmt.Errorf("jal needs rd, target")
+			}
+			rd, err := parseReg(ops[0])
+			if err != nil {
+				return nil, err
+			}
+			off, err := a.branchOffset(ops[1], first)
+			if err != nil {
+				return nil, err
+			}
+			return one(isa.Inst{Op: op, Rd: rd, Imm: off}), nil
+		}
+		if len(ops) != 2 {
+			return nil, fmt.Errorf("jalr needs rd, off(base)")
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		base, off, err := a.parseMemOperand(ops[1], first)
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Inst{Op: op, Rd: rd, Rs1: base, Imm: off}), nil
+	case isa.ClassAtomic:
+		if len(ops) != 3 {
+			return nil, fmt.Errorf("cas needs rd, (rs1), rs2")
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		base, off, err := a.parseMemOperand(ops[1], first)
+		if err != nil {
+			return nil, err
+		}
+		if off != 0 {
+			return nil, fmt.Errorf("cas takes no offset")
+		}
+		rs2, err := parseReg(ops[2])
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Inst{Op: op, Rd: rd, Rs1: base, Rs2: rs2}), nil
+	case isa.ClassPrefetch:
+		if len(ops) != 1 {
+			return nil, fmt.Errorf("prefetch needs off(base)")
+		}
+		base, off, err := a.parseMemOperand(ops[0], first)
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Inst{Op: op, Rs1: base, Imm: off}), nil
+	case isa.ClassTx:
+		if op == isa.OpTxCommit {
+			if len(ops) != 0 {
+				return nil, fmt.Errorf("txcommit takes no operands")
+			}
+			return one(isa.Inst{Op: op}), nil
+		}
+		if len(ops) != 2 {
+			return nil, fmt.Errorf("txbegin needs rd, handler")
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		off, err := a.branchOffset(ops[1], first)
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Inst{Op: op, Rd: rd, Imm: off}), nil
+	}
+	return nil, fmt.Errorf("unhandled opcode %q", mnem)
+}
+
+// splitMemAware splits operands on commas that are not inside parens.
+func splitMemAware(s string) []string {
+	var out []string
+	depth := 0
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ',':
+			if depth == 0 {
+				f := strings.TrimSpace(s[start:i])
+				if f != "" {
+					out = append(out, f)
+				}
+				start = i + 1
+			}
+		}
+	}
+	f := strings.TrimSpace(s[start:])
+	if f != "" {
+		out = append(out, f)
+	}
+	return out
+}
+
+func (a *assembler) finish() (*Program, error) {
+	b := NewBuilder(a.textBase)
+	for name, addr := range a.labels {
+		b.DataLabel(name, addr)
+	}
+	for _, in := range a.insts {
+		b.Emit(in)
+	}
+	for _, s := range a.segs {
+		if len(s.data) > 0 {
+			b.Data(s.addr, s.data)
+		}
+	}
+	prog, err := b.Finish()
+	if err != nil {
+		return nil, err
+	}
+	if a.entryLabel != "" {
+		addr, ok := a.labels[a.entryLabel]
+		if !ok {
+			return nil, fmt.Errorf("undefined entry label %q", a.entryLabel)
+		}
+		prog.Entry = addr
+	}
+	return prog, nil
+}

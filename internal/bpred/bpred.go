@@ -1,0 +1,174 @@
+// Package bpred implements the branch prediction substrate shared by all
+// core models: a gshare direction predictor, a branch target buffer, and
+// a return-address stack. SST additionally relies on the predictor for
+// branches whose operands are not available (deferred branches); a wrong
+// prediction there is discovered at replay time and costs a checkpoint
+// rollback, so predictor quality directly bounds speculation depth.
+package bpred
+
+// Config sizes the predictor structures.
+type Config struct {
+	// GshareBits is log2 of the pattern history table size.
+	GshareBits int
+	// BTBEntries is the number of direct-mapped BTB entries.
+	BTBEntries int
+	// RASDepth is the return-address stack depth.
+	RASDepth int
+}
+
+// DefaultConfig returns a 2009-era predictor: 16K-entry gshare,
+// 2K-entry BTB, 8-deep RAS.
+func DefaultConfig() Config {
+	return Config{GshareBits: 14, BTBEntries: 2048, RASDepth: 8}
+}
+
+// Stats counts predictor events.
+type Stats struct {
+	DirLookups    uint64
+	DirMispredict uint64
+	BTBLookups    uint64
+	BTBMisses     uint64
+	RASPushes     uint64
+	RASPops       uint64
+}
+
+// Predictor combines direction, target and return-address prediction.
+// It is deliberately simple and deterministic: identical instruction
+// streams produce identical predictions on every core model, so
+// performance differences isolate the pipeline technique.
+type Predictor struct {
+	cfg   Config
+	pht   []uint8 // 2-bit saturating counters
+	ghr   uint64  // global history register
+	btb   []btbEntry
+	ras   []uint64
+	rasSP int
+	Stats Stats
+}
+
+type btbEntry struct {
+	tag    uint64
+	target uint64
+	valid  bool
+}
+
+// New builds a predictor.
+func New(cfg Config) *Predictor {
+	if cfg.GshareBits <= 0 {
+		cfg.GshareBits = 14
+	}
+	if cfg.BTBEntries <= 0 {
+		cfg.BTBEntries = 2048
+	}
+	if cfg.RASDepth <= 0 {
+		cfg.RASDepth = 8
+	}
+	p := &Predictor{
+		cfg: cfg,
+		pht: make([]uint8, 1<<cfg.GshareBits),
+		btb: make([]btbEntry, cfg.BTBEntries),
+		ras: make([]uint64, cfg.RASDepth),
+	}
+	// Weakly taken initial state.
+	for i := range p.pht {
+		p.pht[i] = 2
+	}
+	return p
+}
+
+// Config returns the predictor configuration.
+func (p *Predictor) Config() Config { return p.cfg }
+
+func (p *Predictor) phtIndex(pc uint64) uint64 {
+	mask := uint64(len(p.pht) - 1)
+	return ((pc >> 3) ^ p.ghr) & mask
+}
+
+// PredictDir predicts the direction of the conditional branch at pc.
+func (p *Predictor) PredictDir(pc uint64) bool {
+	p.Stats.DirLookups++
+	return p.pht[p.phtIndex(pc)] >= 2
+}
+
+// UpdateDir trains the direction predictor with the branch outcome and
+// shifts the outcome into global history. mispredicted is recorded for
+// stats only.
+func (p *Predictor) UpdateDir(pc uint64, taken, mispredicted bool) {
+	idx := p.phtIndex(pc)
+	c := p.pht[idx]
+	if taken {
+		if c < 3 {
+			c++
+		}
+	} else if c > 0 {
+		c--
+	}
+	p.pht[idx] = c
+	p.ghr = (p.ghr << 1) | b2u(taken)
+	if mispredicted {
+		p.Stats.DirMispredict++
+	}
+}
+
+// History returns the current global history register, so speculative
+// cores can checkpoint and restore it on rollback.
+func (p *Predictor) History() uint64 { return p.ghr }
+
+// SetHistory restores a previously captured global history register.
+func (p *Predictor) SetHistory(h uint64) { p.ghr = h }
+
+// PredictTarget predicts the target of an indirect jump at pc. ok is
+// false on a BTB miss (the frontend then stalls until resolution).
+func (p *Predictor) PredictTarget(pc uint64) (target uint64, ok bool) {
+	p.Stats.BTBLookups++
+	e := &p.btb[p.btbIndex(pc)]
+	if e.valid && e.tag == pc {
+		return e.target, true
+	}
+	p.Stats.BTBMisses++
+	return 0, false
+}
+
+// UpdateTarget trains the BTB with the resolved target of the indirect
+// jump at pc.
+func (p *Predictor) UpdateTarget(pc, target uint64) {
+	e := &p.btb[p.btbIndex(pc)]
+	*e = btbEntry{tag: pc, target: target, valid: true}
+}
+
+func (p *Predictor) btbIndex(pc uint64) uint64 {
+	return (pc >> 3) % uint64(len(p.btb))
+}
+
+// PushReturn records a call's return address on the RAS.
+func (p *Predictor) PushReturn(addr uint64) {
+	p.ras[p.rasSP%len(p.ras)] = addr
+	p.rasSP++
+	p.Stats.RASPushes++
+}
+
+// PopReturn predicts a return target from the RAS. ok is false when the
+// stack is empty.
+func (p *Predictor) PopReturn() (addr uint64, ok bool) {
+	if p.rasSP == 0 {
+		return 0, false
+	}
+	p.rasSP--
+	p.Stats.RASPops++
+	return p.ras[p.rasSP%len(p.ras)], true
+}
+
+// RASDepthNow returns the current RAS occupancy (bounded by depth).
+func (p *Predictor) RASDepthNow() int {
+	if p.rasSP > len(p.ras) {
+		return len(p.ras)
+	}
+	return p.rasSP
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

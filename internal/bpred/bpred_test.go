@@ -1,0 +1,148 @@
+package bpred
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestGshareLearnsBias(t *testing.T) {
+	p := New(DefaultConfig())
+	pc := uint64(0x1000)
+	// Train always-taken.
+	for i := 0; i < 64; i++ {
+		pred := p.PredictDir(pc)
+		p.UpdateDir(pc, true, pred != true)
+	}
+	if !p.PredictDir(pc) {
+		t.Error("predictor failed to learn always-taken")
+	}
+	// Retrain always-not-taken.
+	for i := 0; i < 64; i++ {
+		pred := p.PredictDir(pc)
+		p.UpdateDir(pc, false, pred != false)
+	}
+	if p.PredictDir(pc) {
+		t.Error("predictor failed to relearn not-taken")
+	}
+}
+
+func TestGshareLearnsPattern(t *testing.T) {
+	// Alternating T/N is perfectly predictable with history.
+	p := New(Config{GshareBits: 12, BTBEntries: 64, RASDepth: 4})
+	pc := uint64(0x2000)
+	taken := false
+	correct := 0
+	const warm, measure = 200, 200
+	for i := 0; i < warm+measure; i++ {
+		pred := p.PredictDir(pc)
+		if i >= warm && pred == taken {
+			correct++
+		}
+		p.UpdateDir(pc, taken, pred != taken)
+		taken = !taken
+	}
+	if float64(correct)/measure < 0.95 {
+		t.Errorf("pattern accuracy %d/%d, want >95%%", correct, measure)
+	}
+}
+
+func TestGshareStats(t *testing.T) {
+	p := New(DefaultConfig())
+	p.PredictDir(0)
+	p.UpdateDir(0, true, true)
+	if p.Stats.DirLookups != 1 || p.Stats.DirMispredict != 1 {
+		t.Errorf("stats = %+v", p.Stats)
+	}
+}
+
+func TestHistoryCheckpointing(t *testing.T) {
+	p := New(DefaultConfig())
+	for i := 0; i < 10; i++ {
+		p.UpdateDir(uint64(i*8), i%2 == 0, false)
+	}
+	h := p.History()
+	p.UpdateDir(0x100, true, false)
+	p.UpdateDir(0x108, false, false)
+	if p.History() == h {
+		t.Fatal("history did not advance")
+	}
+	p.SetHistory(h)
+	if p.History() != h {
+		t.Error("history restore failed")
+	}
+}
+
+func TestBTB(t *testing.T) {
+	p := New(DefaultConfig())
+	if _, ok := p.PredictTarget(0x3000); ok {
+		t.Error("cold BTB hit")
+	}
+	if p.Stats.BTBMisses != 1 {
+		t.Errorf("btb misses = %d", p.Stats.BTBMisses)
+	}
+	p.UpdateTarget(0x3000, 0x4000)
+	if tgt, ok := p.PredictTarget(0x3000); !ok || tgt != 0x4000 {
+		t.Errorf("btb = %#x, %v", tgt, ok)
+	}
+	// Aliasing entry replaces.
+	alias := 0x3000 + uint64(p.Config().BTBEntries)*8
+	p.UpdateTarget(alias, 0x5000)
+	if _, ok := p.PredictTarget(0x3000); ok {
+		t.Error("stale entry survived aliasing replacement")
+	}
+}
+
+func TestRAS(t *testing.T) {
+	p := New(Config{GshareBits: 4, BTBEntries: 4, RASDepth: 4})
+	if _, ok := p.PopReturn(); ok {
+		t.Error("pop of empty RAS")
+	}
+	p.PushReturn(0x100)
+	p.PushReturn(0x200)
+	if a, ok := p.PopReturn(); !ok || a != 0x200 {
+		t.Errorf("pop = %#x", a)
+	}
+	if a, ok := p.PopReturn(); !ok || a != 0x100 {
+		t.Errorf("pop = %#x", a)
+	}
+	// Overflow wraps: deepest entries are lost, recent ones survive.
+	for i := 1; i <= 6; i++ {
+		p.PushReturn(uint64(i * 0x10))
+	}
+	for want := 6; want >= 3; want-- {
+		if a, ok := p.PopReturn(); !ok || a != uint64(want*0x10) {
+			t.Errorf("pop = %#x, want %#x", a, want*0x10)
+		}
+	}
+	if p.RASDepthNow() < 0 {
+		t.Error("negative depth")
+	}
+}
+
+func TestPredictorDeterminism(t *testing.T) {
+	run := func() uint64 {
+		p := New(DefaultConfig())
+		r := rand.New(rand.NewSource(9))
+		var sig uint64
+		for i := 0; i < 5000; i++ {
+			pc := uint64(r.Intn(1024)) * 8
+			pred := p.PredictDir(pc)
+			actual := r.Intn(3) > 0
+			p.UpdateDir(pc, actual, pred != actual)
+			if pred {
+				sig = sig*31 + pc
+			}
+		}
+		return sig
+	}
+	if run() != run() {
+		t.Error("predictor not deterministic")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	p := New(Config{})
+	if p.Config().GshareBits <= 0 || p.Config().BTBEntries <= 0 || p.Config().RASDepth <= 0 {
+		t.Error("zero config not defaulted")
+	}
+}

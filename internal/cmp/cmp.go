@@ -1,0 +1,120 @@
+// Package cmp is the chip-multiprocessor substrate: N cores stepped in
+// lockstep over one shared L2/DRAM. ROCK is a 16-core CMP of SST cores;
+// the paper's area/power argument is that a chip full of small SST cores
+// outperforms a chip of big out-of-order cores per thread. This package
+// supports both multiprogrammed throughput runs (each core its own
+// program and private functional memory, with per-core physical-address
+// salting so the shared L2 sees disjoint footprints) and true
+// shared-memory runs (one memory, coherence invalidations on).
+package cmp
+
+import (
+	"fmt"
+
+	"rocksim/internal/asm"
+	"rocksim/internal/bpred"
+	"rocksim/internal/cpu"
+	"rocksim/internal/mem"
+)
+
+// BuildCore constructs a core model over the machine; the harness
+// supplies this so the chip is core-model-agnostic.
+type BuildCore func(id int, m *cpu.Machine, entry uint64) cpu.Core
+
+// Chip is one simulated CMP.
+type Chip struct {
+	Hier     *mem.Hierarchy
+	Machines []*cpu.Machine
+	Cores    []cpu.Core
+	cycle    uint64
+}
+
+// NewPrivate builds a multiprogrammed chip: core i runs progs[i] in its
+// own functional memory. Coherence is off (no sharing) and each core's
+// physical footprint is salted apart in the shared L2.
+func NewPrivate(hcfg mem.HierConfig, pcfg bpred.Config, progs []*asm.Program, build BuildCore) (*Chip, error) {
+	n := len(progs)
+	if n == 0 {
+		return nil, fmt.Errorf("cmp: need at least one program")
+	}
+	hier, err := mem.NewHierarchy(hcfg, n)
+	if err != nil {
+		return nil, err
+	}
+	c := &Chip{Hier: hier}
+	for i, p := range progs {
+		m := mem.NewSparse()
+		p.Load(m)
+		hier.SetAddressSalt(i, uint64(i)<<33)
+		mach := &cpu.Machine{Mem: m, Hier: hier, CoreID: i, Pred: bpred.New(pcfg)}
+		c.Machines = append(c.Machines, mach)
+		c.Cores = append(c.Cores, build(i, mach, p.Entry))
+	}
+	return c, nil
+}
+
+// NewShared builds a shared-memory chip: all cores execute in one
+// functional memory (prog loaded once), starting at entries[i], with
+// coherence invalidations enabled.
+func NewShared(hcfg mem.HierConfig, pcfg bpred.Config, prog *asm.Program, entries []uint64, build BuildCore) (*Chip, error) {
+	n := len(entries)
+	if n == 0 {
+		return nil, fmt.Errorf("cmp: need at least one entry")
+	}
+	hier, err := mem.NewHierarchy(hcfg, n)
+	if err != nil {
+		return nil, err
+	}
+	shared := mem.NewSparse()
+	prog.Load(shared)
+	c := &Chip{Hier: hier}
+	for i, e := range entries {
+		mach := &cpu.Machine{Mem: shared, Hier: hier, CoreID: i, Pred: bpred.New(pcfg), Coherent: true}
+		c.Machines = append(c.Machines, mach)
+		c.Cores = append(c.Cores, build(i, mach, e))
+	}
+	return c, nil
+}
+
+// Run steps all cores in lockstep until every core halts or maxCycles
+// elapse.
+func (c *Chip) Run(maxCycles uint64) error {
+	for c.cycle < maxCycles {
+		alive := false
+		for i, core := range c.Cores {
+			if core.Done() {
+				continue
+			}
+			alive = true
+			core.Step()
+			if err := core.Err(); err != nil {
+				return fmt.Errorf("cmp: core %d: %w", i, err)
+			}
+		}
+		if !alive {
+			return nil
+		}
+		c.cycle++
+	}
+	return fmt.Errorf("cmp: cycle limit %d exceeded", maxCycles)
+}
+
+// Cycles returns the chip cycles elapsed (the lockstep count).
+func (c *Chip) Cycles() uint64 { return c.cycle }
+
+// TotalRetired sums retired instructions across cores.
+func (c *Chip) TotalRetired() uint64 {
+	var t uint64
+	for _, core := range c.Cores {
+		t += core.Retired()
+	}
+	return t
+}
+
+// Throughput returns aggregate instructions per chip cycle.
+func (c *Chip) Throughput() float64 {
+	if c.cycle == 0 {
+		return 0
+	}
+	return float64(c.TotalRetired()) / float64(c.cycle)
+}

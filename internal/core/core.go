@@ -1,0 +1,540 @@
+// Package core implements Simultaneous Speculative Threading (SST), the
+// checkpoint-based pipeline of Sun's ROCK processor and the primary
+// contribution of the reproduced paper.
+//
+// The core is an in-order pipeline extended with:
+//
+//   - register checkpoints taken at long-latency events (cache-missing
+//     loads, optionally divides), which replace the reorder buffer;
+//   - a not-available (NA) bit per register, which replaces renaming:
+//     instructions reading an NA register are appended — with the
+//     operand values that are available — to the Deferred Queue (DQ);
+//   - a speculative store buffer (SSB) holding stores until their epoch
+//     commits, which replaces the memory-disambiguation machinery;
+//   - a second hardware strand that replays the DQ when miss data
+//     returns while the first strand keeps executing ahead — the
+//     "simultaneous" in SST;
+//   - hardware-scout (runahead) operation as the degenerate mode when
+//     deferral is impossible, prefetching but discarding results.
+//
+// Speculation fails on a deferred branch (or indirect target) that was
+// predicted wrong, or on SSB overflow during replay; failure rolls the
+// machine back to the enclosing checkpoint. Atomics and barriers
+// serialize: the ahead strand stalls until all epochs commit.
+package core
+
+import (
+	"rocksim/internal/cpu"
+	"rocksim/internal/isa"
+	"rocksim/internal/stats"
+)
+
+// Config parameterizes the SST core.
+type Config struct {
+	// Width is the ahead strand's issue width.
+	Width int
+	// ReplayWidth is the deferred strand's replay width (used only when
+	// SecondStrand is true).
+	ReplayWidth int
+	// Checkpoints is the number of register checkpoints, i.e. the
+	// maximum number of concurrently speculating epochs. Zero degrades
+	// the core to a stall-on-use in-order pipeline.
+	Checkpoints int
+	// DQSize is the Deferred Queue capacity in instructions. Zero
+	// degrades speculation to hardware scout (pure runahead).
+	DQSize int
+	// SSBSize is the speculative store buffer capacity.
+	SSBSize int
+	// SecondStrand enables the second hardware strand: DQ replay runs
+	// simultaneously with the ahead strand. When false the core is the
+	// execute-ahead-only ablation: replay steals ahead-strand slots.
+	SecondStrand bool
+	// ScoutOnDQFull switches to hardware scout when the DQ fills,
+	// discarding all deferred work for pure prefetching; otherwise the
+	// ahead strand stalls until replay drains entries (preserving the
+	// deferred work — the better default when a second strand exists).
+	ScoutOnDQFull bool
+	// DeferLongOps defers long-latency arithmetic like misses.
+	DeferLongOps bool
+	// LongOpMinLatency is the minimum latency (cycles) for an
+	// arithmetic op to be deferred rather than scoreboarded. Divides
+	// qualify; short multiplies do not (deferring them just manufactures
+	// unpredictable deferred branches).
+	LongOpMinLatency int
+	// CheckpointPerMiss takes a fresh checkpoint (when one is free) at
+	// each deferring miss, bounding rollback granularity.
+	CheckpointPerMiss bool
+	// CheckpointOnDeferredBranch takes a checkpoint (when one is free)
+	// right before a branch that must be predicted because its operands
+	// are NA. Deferred-branch mispredicts are the dominant speculation
+	// failure; a checkpoint at the branch bounds the rollback to the
+	// branch itself instead of the whole epoch.
+	CheckpointOnDeferredBranch bool
+
+	TakenPenalty      uint64
+	MispredictPenalty uint64
+	// RollbackPenalty is the pipeline refill bubble after restoring a
+	// checkpoint.
+	RollbackPenalty uint64
+}
+
+// DefaultConfig returns the ROCK-like SST core: 2-wide ahead strand,
+// 2-wide replay strand, 4 checkpoints, 64-entry DQ, 32-entry SSB.
+func DefaultConfig() Config {
+	return Config{
+		Width:                      2,
+		ReplayWidth:                2,
+		Checkpoints:                4,
+		DQSize:                     64,
+		SSBSize:                    32,
+		SecondStrand:               true,
+		ScoutOnDQFull:              false,
+		DeferLongOps:               true,
+		LongOpMinLatency:           10,
+		CheckpointPerMiss:          true,
+		CheckpointOnDeferredBranch: true,
+		TakenPenalty:               2,
+		MispredictPenalty:          8,
+		RollbackPenalty:            6,
+	}
+}
+
+// ExecuteAheadConfig is the ablation without the second strand: the DQ
+// replays through the same pipeline that executes ahead.
+func ExecuteAheadConfig() Config {
+	c := DefaultConfig()
+	c.SecondStrand = false
+	return c
+}
+
+// ScoutConfig is the hardware-scout (runahead) ablation: no deferred
+// queue at all — a miss checkpoints, runs ahead purely for prefetching,
+// and re-executes everything when the miss returns. The store buffer
+// remains (it is physical hardware, also needed by transactions); only
+// the deferred queue is absent.
+func ScoutConfig() Config {
+	c := DefaultConfig()
+	c.DQSize = 0
+	c.SecondStrand = false
+	c.Checkpoints = 1
+	return c
+}
+
+// Mode is the operating mode of the core.
+type Mode uint8
+
+// Core modes.
+const (
+	ModeNormal Mode = iota // no live checkpoints
+	ModeSpec               // speculating with a deferred queue
+	ModeScout              // runahead: prefetch only, results discarded
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeNormal:
+		return "normal"
+	case ModeSpec:
+		return "spec"
+	case ModeScout:
+		return "scout"
+	}
+	return "?"
+}
+
+// CycleKind classifies each cycle for the execution-time breakdown
+// (paper figure F2).
+type CycleKind uint8
+
+// Cycle classifications.
+const (
+	CyNormal       CycleKind = iota // normal mode, instructions executed
+	CyNormalStall                   // normal mode, no progress
+	CyAhead                         // speculating: only the ahead strand progressed
+	CyReplay                        // speculating: only the deferred strand progressed
+	CySimultaneous                  // both strands progressed (the SST win)
+	CySpecStall                     // speculating, neither strand progressed
+	CyScout                         // hardware scout
+	NumCycleKinds
+)
+
+func (k CycleKind) String() string {
+	switch k {
+	case CyNormal:
+		return "normal"
+	case CyNormalStall:
+		return "normal-stall"
+	case CyAhead:
+		return "ahead"
+	case CyReplay:
+		return "replay"
+	case CySimultaneous:
+		return "simultaneous"
+	case CySpecStall:
+		return "spec-stall"
+	case CyScout:
+		return "scout"
+	}
+	return "?"
+}
+
+// RollbackCause identifies why speculation failed.
+type RollbackCause uint8
+
+// Rollback causes.
+const (
+	RbBranch   RollbackCause = iota // deferred branch mispredicted
+	RbJalr                          // deferred indirect target mispredicted
+	RbSSB                           // store buffer overflow during replay
+	RbScout                         // scheduled scout-mode rollback
+	RbMemOrder                      // deferred store conflicted with an ahead load
+	NumRollbackCauses
+)
+
+func (r RollbackCause) String() string {
+	switch r {
+	case RbBranch:
+		return "branch"
+	case RbJalr:
+		return "jalr"
+	case RbSSB:
+		return "ssb-overflow"
+	case RbScout:
+		return "scout"
+	case RbMemOrder:
+		return "mem-order"
+	}
+	return "?"
+}
+
+// Stats extends the common statistics with SST-specific accounting.
+type Stats struct {
+	cpu.BaseStats
+
+	CheckpointsTaken uint64
+	EpochCommits     uint64
+	Rollbacks        uint64
+	RollbacksBy      [NumRollbackCauses]uint64
+
+	Deferrals             uint64 // instructions placed in the DQ
+	Replays               uint64 // DQ entries successfully replayed
+	DeferredBranches      uint64
+	DeferredBranchMispred uint64
+	PendingMisses         uint64 // deferred-result events (miss loads, long ops)
+
+	ScoutEntries   uint64 // transitions into scout mode
+	ScoutInsts     uint64 // instructions processed while scouting
+	DiscardedInsts uint64 // speculative work undone by rollbacks
+
+	ModeCycles         [NumCycleKinds]uint64
+	DQFullStallCycles  uint64
+	SSBFullStallCycles uint64
+	AtomicStallCycles  uint64
+
+	// Tx counts hardware-transactional-memory events (the HTM extension
+	// built on the checkpoint/SSB machinery).
+	Tx TxStats
+
+	DQOcc   *stats.Hist // deferred-queue occupancy per cycle
+	SSBOcc  *stats.Hist // store-buffer occupancy per cycle
+	CkptOcc *stats.Hist // live checkpoints per cycle
+}
+
+// checkpoint snapshots everything needed to restart execution at the
+// instruction that triggered it.
+type checkpoint struct {
+	startSeq   uint64 // seq of the triggering instruction
+	pc         uint64 // its PC (rollback target)
+	regs       [isa.NumRegs]int64
+	na         [isa.NumRegs]bool
+	lastWriter [isa.NumRegs]uint64
+	readyAt    [isa.NumRegs]uint64
+	ghr        uint64 // branch-history snapshot
+	processed  uint64 // architectural instruction count at checkpoint
+}
+
+// dqEntry is one deferred instruction with its captured operands.
+type dqEntry struct {
+	seq  uint64
+	in   isa.Inst
+	pc   uint64
+	vals [3]int64  // captured available operand values
+	dep  [3]uint64 // producing seq for NA operands
+	isNA [3]bool
+	nsrc int
+
+	predTaken  bool   // deferred conditional branch prediction
+	predTarget uint64 // deferred indirect target prediction
+
+	// For deferred stores whose address was available (only the data
+	// was NA): later loads disambiguate against this address instead of
+	// deferring unconditionally.
+	memAddrKnown bool
+	memAddr      uint64
+	memSize      int
+}
+
+// pendingResult is an in-flight deferred value: a missing load or a
+// long-latency operation whose result arrives at a future cycle.
+type pendingResult struct {
+	seq   uint64
+	rd    uint8
+	val   int64
+	ready uint64
+}
+
+// ssbEntry is one speculative store, ordered by seq.
+type ssbEntry struct {
+	seq  uint64
+	addr uint64
+	size int
+	val  int64
+}
+
+// readRec is one speculative load in the read set.
+type readRec struct {
+	seq  uint64
+	addr uint64
+	size int
+}
+
+// Core is the SST pipeline model.
+type Core struct {
+	cfg Config
+	m   *cpu.Machine
+	fe  *cpu.Frontend
+
+	regs       [isa.NumRegs]int64
+	na         [isa.NumRegs]bool
+	lastWriter [isa.NumRegs]uint64
+	readyAt    [isa.NumRegs]uint64 // short-wait scoreboard (L1 hits, ALU lat)
+
+	mode     Mode
+	seq      uint64 // next sequence number (monotonic, never rewinds)
+	ckpts    []checkpoint
+	dq       []dqEntry
+	ssb      []ssbEntry
+	pend     []pendingResult
+	resolved map[uint64]int64
+
+	dqStores int // deferred stores currently in the DQ
+
+	// readSet records speculative ahead-strand loads (seq-ordered).
+	// A deferred store whose address was unknown verifies against it at
+	// replay: overlap with a younger load means the load read stale data
+	// and speculation must roll back. This is how SST keeps loads
+	// flowing past unresolved stores without a disambiguation CAM.
+	readSet []readRec
+
+	// processed counts instructions handled by the ahead strand since
+	// program start; rolled back with checkpoints. Architectural retire
+	// count advances from it at epoch commits.
+	processed uint64
+
+	scoutTriggerSeq uint64 // pending seq whose delivery triggers rollback
+	scoutArmed      bool
+
+	// Forward-progress guarantee: after a rollback the triggering
+	// instruction executes without opening new speculation, so that a
+	// long-latency event that recurs identically (e.g. a divide, or a
+	// re-evicted line) cannot livelock the checkpoint/rollback loop.
+	forceProgress   bool
+	forceProgressPC uint64
+
+	// Hardware transactional memory state (see htm.go).
+	tx         txState
+	txListener bool
+
+	// probe, when set, observes cycles and events (see probe.go).
+	probe Probe
+
+	done  bool
+	err   error
+	cycle uint64
+
+	stats Stats
+}
+
+// New creates an SST core executing from entry.
+func New(m *cpu.Machine, cfg Config, entry uint64) *Core {
+	if cfg.Width < 1 {
+		cfg.Width = 1
+	}
+	if cfg.ReplayWidth < 1 {
+		cfg.ReplayWidth = 1
+	}
+	if cfg.Checkpoints < 0 {
+		cfg.Checkpoints = 0
+	}
+	if cfg.DQSize < 0 {
+		cfg.DQSize = 0
+	}
+	c := &Core{
+		cfg:      cfg,
+		m:        m,
+		fe:       cpu.NewFrontend(m, entry),
+		resolved: make(map[uint64]int64),
+	}
+	c.seq = 1 // seq 0 reserved so lastWriter==0 means "no producer"
+	c.stats.DQOcc = stats.NewHist(max(cfg.DQSize, 1))
+	c.stats.SSBOcc = stats.NewHist(max(cfg.SSBSize, 1))
+	c.stats.CkptOcc = stats.NewHist(max(cfg.Checkpoints, 1))
+	return c
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Cycle returns the current cycle.
+func (c *Core) Cycle() uint64 { return c.cycle }
+
+// Done reports whether the program has halted.
+func (c *Core) Done() bool { return c.done }
+
+// Retired returns architecturally retired instructions.
+func (c *Core) Retired() uint64 { return c.stats.Retired }
+
+// Base returns the common statistics block.
+func (c *Core) Base() *cpu.BaseStats { return &c.stats.BaseStats }
+
+// Stats returns the full SST statistics.
+func (c *Core) Stats() *Stats { return &c.stats }
+
+// Err returns a fatal simulation error, if any.
+func (c *Core) Err() error { return c.err }
+
+// Mode returns the current operating mode (for tests and examples).
+func (c *Core) Mode() Mode { return c.mode }
+
+// Regs returns the architectural register file. Valid once Done — while
+// speculating it reflects speculative state.
+func (c *Core) Regs() [isa.NumRegs]int64 { return c.regs }
+
+// Step advances the core one cycle.
+func (c *Core) Step() {
+	now := c.cycle
+
+	c.deliver(now)
+	if c.tx.active && c.tx.abort != 0 {
+		c.txAbort(now)
+	}
+
+	replayed := 0
+	aheadBudget := c.cfg.Width
+	if c.mode == ModeSpec {
+		budget := c.cfg.ReplayWidth
+		if !c.cfg.SecondStrand {
+			budget = aheadBudget
+		}
+		replayed = c.replay(now, budget)
+		if !c.cfg.SecondStrand {
+			aheadBudget -= replayed
+		}
+	}
+	if c.err != nil {
+		return
+	}
+
+	c.commitEpochs(now)
+
+	if c.mode == ModeScout {
+		c.maybeScoutRollback(now)
+	}
+
+	executed := 0
+	if !c.done && c.err == nil && aheadBudget > 0 {
+		executed = c.ahead(now, aheadBudget)
+	}
+	if c.err != nil {
+		return
+	}
+
+	c.classifyCycle(executed, replayed)
+	if c.probe != nil {
+		c.probe.CycleState(now, c.mode, executed, replayed, len(c.dq), len(c.ssb), len(c.ckpts), len(c.pend))
+	}
+	c.stats.SampleMLP(c.m.Hier.OutstandingDataMisses(c.m.CoreID, now))
+	c.stats.DQOcc.Add(len(c.dq))
+	c.stats.SSBOcc.Add(len(c.ssb))
+	c.stats.CkptOcc.Add(len(c.ckpts))
+	c.stats.Cycles++
+	c.cycle++
+}
+
+func (c *Core) classifyCycle(executed, replayed int) {
+	var k CycleKind
+	switch c.mode {
+	case ModeNormal:
+		if executed > 0 {
+			k = CyNormal
+		} else {
+			k = CyNormalStall
+		}
+	case ModeScout:
+		k = CyScout
+	default:
+		switch {
+		case executed > 0 && replayed > 0:
+			k = CySimultaneous
+		case executed > 0:
+			k = CyAhead
+		case replayed > 0:
+			k = CyReplay
+		default:
+			k = CySpecStall
+		}
+	}
+	c.stats.ModeCycles[k]++
+}
+
+// deliver applies pending deferred results whose data has arrived.
+func (c *Core) deliver(now uint64) {
+	live := c.pend[:0]
+	for _, p := range c.pend {
+		if p.ready > now {
+			live = append(live, p)
+			continue
+		}
+		c.resolved[p.seq] = p.val
+		c.deliverRF(p.seq, p.rd, p.val, now)
+	}
+	c.pend = live
+}
+
+// deliverRF writes a resolved value into the architectural register file
+// if no younger instruction has claimed the register since — and into
+// every checkpoint copy that is still waiting on it, exactly as the
+// hardware broadcasts fills to all checkpointed register files. Without
+// the checkpoint update, a rollback could resurrect an NA bit whose
+// producer has already delivered and will never deliver again.
+func (c *Core) deliverRF(seq uint64, rd uint8, v int64, now uint64) {
+	if rd == isa.RegZero {
+		return
+	}
+	if c.lastWriter[rd] == seq {
+		c.regs[rd] = v
+		c.na[rd] = false
+		c.readyAt[rd] = now
+	}
+	for i := range c.ckpts {
+		ck := &c.ckpts[i]
+		if ck.na[rd] && ck.lastWriter[rd] == seq {
+			ck.regs[rd] = v
+			ck.na[rd] = false
+			ck.readyAt[rd] = now
+		}
+	}
+}
+
+// markNA marks rd not-available with the given producer.
+func (c *Core) markNA(rd uint8, seq uint64) {
+	if rd == isa.RegZero {
+		return
+	}
+	c.na[rd] = true
+	c.lastWriter[rd] = seq
+}

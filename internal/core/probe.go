@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Probe observes the SST core cycle by cycle, for pipeline visualization
+// and debugging. All hooks are optional-cost: nothing is computed when
+// no probe is installed.
+type Probe interface {
+	// CycleState is called at the end of every cycle with the mode and
+	// per-strand progress.
+	CycleState(now uint64, mode Mode, executed, replayed, dq, ssb, ckpts, pend int)
+	// Event is called at significant microarchitectural events.
+	Event(now uint64, kind, detail string)
+}
+
+// SetProbe installs (or clears, with nil) the core's probe.
+func (c *Core) SetProbe(p Probe) { c.probe = p }
+
+func (c *Core) probeEvent(kind, detail string) {
+	if c.probe != nil {
+		c.probe.Event(c.cycle, kind, detail)
+	}
+}
+
+// PipeView is a Probe that renders a compact one-line-per-cycle pipeline
+// trace, in the spirit of pipetrace viewers:
+//
+//	cycle   mode  A R |DQ......  |SSB..    |CK##    events
+//
+// A/R columns show ahead-strand and replay-strand instruction counts for
+// the cycle; the bars show queue occupancies.
+type PipeView struct {
+	W io.Writer
+	// MaxCycles stops output after this many cycles (0 = unlimited).
+	MaxCycles uint64
+	// OnlyEvents suppresses per-cycle lines, printing events only.
+	OnlyEvents bool
+
+	lines uint64
+}
+
+// CycleState implements Probe.
+func (v *PipeView) CycleState(now uint64, mode Mode, executed, replayed, dq, ssb, ckpts, pend int) {
+	if v.OnlyEvents || (v.MaxCycles > 0 && now >= v.MaxCycles) {
+		return
+	}
+	bar := func(n, width int) string {
+		if n > width {
+			n = width
+		}
+		return strings.Repeat("#", n) + strings.Repeat(".", width-n)
+	}
+	fmt.Fprintf(v.W, "%8d %-7s A%d R%d |DQ%s|SSB%s|CK%s|M%d\n",
+		now, mode, executed, replayed,
+		bar(dq/4, 16), bar(ssb/2, 8), bar(ckpts, 4), pend)
+	v.lines++
+}
+
+// Event implements Probe.
+func (v *PipeView) Event(now uint64, kind, detail string) {
+	if v.MaxCycles > 0 && now >= v.MaxCycles {
+		return
+	}
+	fmt.Fprintf(v.W, "%8d * %-10s %s\n", now, kind, detail)
+}

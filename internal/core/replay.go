@@ -1,0 +1,151 @@
+package core
+
+import (
+	"rocksim/internal/isa"
+	"rocksim/internal/mem"
+)
+
+// replay runs the deferred strand for one cycle: it walks the Deferred
+// Queue in program order and executes up to budget entries whose
+// operands have resolved. Entries that are still waiting stay in the
+// queue (hardware re-defers them). Memory ordering is enforced without a
+// disambiguation CAM: loads replay optimistically and join the read set;
+// a store whose address resolves later verifies against that read set
+// and fails speculation on a true conflict; store-to-store order is
+// preserved by the sequence-sorted SSB.
+//
+// Deferred branches are verified here; a misprediction rolls the machine
+// back to the enclosing checkpoint. Returns the number of entries
+// replayed this cycle.
+func (c *Core) replay(now uint64, budget int) int {
+	replayed := 0
+	for replayed < budget && c.mode == ModeSpec && len(c.dq) > 0 {
+		idx, vals, ok := c.nextReplayable()
+		if !ok {
+			break
+		}
+		e := c.dq[idx]
+		// Remove the entry before executing it so a rollback triggered
+		// by the entry itself sees a consistent queue.
+		c.dq = append(c.dq[:idx], c.dq[idx+1:]...)
+		if e.in.Op.IsStore() {
+			c.dqStores--
+		}
+		rolledBack := c.replayEntry(&e, vals, now)
+		replayed++
+		c.stats.Replays++
+		if rolledBack {
+			break
+		}
+	}
+	return replayed
+}
+
+// nextReplayable finds the oldest DQ entry whose operands have all
+// resolved. There is no ordering gate between deferred memory
+// operations: loads replay optimistically (joining the read set) and
+// stores — whose SSB slots are sequence-sorted — verify against the read
+// set when their addresses resolve, rolling back on a true conflict.
+// Independent miss chains therefore replay fully in parallel.
+func (c *Core) nextReplayable() (idx int, vals [3]int64, ok bool) {
+	for i := range c.dq {
+		e := &c.dq[i]
+		ready := true
+		var v [3]int64
+		for s := 0; s < e.nsrc; s++ {
+			if !e.isNA[s] {
+				v[s] = e.vals[s]
+				continue
+			}
+			r, have := c.resolved[e.dep[s]]
+			if !have {
+				ready = false
+				break
+			}
+			v[s] = r
+		}
+		if !ready {
+			continue
+		}
+		return i, v, true
+	}
+	return 0, vals, false
+}
+
+// replayEntry executes one resolved DQ entry (already dequeued).
+// It reports whether the entry failed speculation and rolled back.
+func (c *Core) replayEntry(e *dqEntry, vals [3]int64, now uint64) (rolledBack bool) {
+	in := e.in
+	switch in.Op.Class() {
+	case isa.ClassALU:
+		v := isa.ALUResult(in, vals[0], vals[1])
+		c.resolved[e.seq] = v
+		c.deliverRF(e.seq, in.Rd, v, now)
+
+	case isa.ClassLoad:
+		addr := uint64(vals[0] + int64(in.Imm))
+		size := in.Op.MemWidth()
+		// Optimistic with respect to older unreplayed stores: join the
+		// read set so they can verify against this load.
+		c.readSet = append(c.readSet, readRec{seq: e.seq, addr: addr, size: size})
+		raw := c.composeLoad(addr, size, e.seq)
+		v := isa.ExtendLoad(in.Op, raw)
+		res := c.m.Hier.AccessLoad(c.m.CoreID, addr, e.pc, now)
+		c.stats.Loads++
+		c.stats.CountLoadLevel(res.Level)
+		if c.isMiss(res, now) {
+			// A dependent miss: becomes a pending result; consumers in
+			// the DQ keep waiting on this seq.
+			c.pend = append(c.pend, pendingResult{seq: e.seq, rd: in.Rd, val: v, ready: res.Ready})
+			c.stats.PendingMisses++
+			return false
+		}
+		c.resolved[e.seq] = v
+		c.deliverRF(e.seq, in.Rd, v, now)
+
+	case isa.ClassStore:
+		addr := uint64(vals[0] + int64(in.Imm))
+		if c.readSetConflict(e.seq, addr, in.Op.MemWidth()) {
+			// A younger speculative load read this location before the
+			// store resolved: it consumed stale data. Roll back to the
+			// store's epoch (the store re-executes too).
+			c.rollback(c.epochOf(e.seq), now, RbMemOrder)
+			return true
+		}
+		if !c.ssbInsert(ssbEntry{seq: e.seq, addr: addr, size: in.Op.MemWidth(), val: vals[1]}) {
+			// SSB overflow during replay cannot resolve by waiting
+			// (draining needs this epoch to commit): fail speculation.
+			c.rollback(c.epochOf(e.seq), now, RbSSB)
+			return true
+		}
+		c.m.Hier.Access(c.m.CoreID, mem.AccPrefetch, addr, now)
+		c.resolved[e.seq] = 0
+
+	case isa.ClassBranch:
+		taken := isa.BranchTaken(in.Op, vals[0], vals[1])
+		mis := taken != e.predTaken
+		c.m.Pred.UpdateDir(e.pc, taken, mis)
+		if mis {
+			c.stats.DeferredBranchMispred++
+			c.stats.BranchMispred++
+			c.rollback(c.epochOf(e.seq), now, RbBranch)
+			return true
+		}
+		c.resolved[e.seq] = 0
+
+	case isa.ClassJump: // deferred jalr target verification
+		target := uint64(vals[0] + int64(in.Imm))
+		c.m.Pred.UpdateTarget(e.pc, target)
+		if target != e.predTarget {
+			c.stats.BranchMispred++
+			c.rollback(c.epochOf(e.seq), now, RbJalr)
+			return true
+		}
+		c.resolved[e.seq] = 0
+
+	default:
+		// Other classes are never deferred.
+		c.resolved[e.seq] = 0
+	}
+	return false
+}

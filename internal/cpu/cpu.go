@@ -1,0 +1,135 @@
+// Package cpu provides the scaffolding shared by every core model: the
+// Core interface the simulator drives, the per-core machine context
+// (functional memory, timing hierarchy, branch predictor), the frontend
+// (instruction fetch with I-cache timing and redirect bubbles), and the
+// common statistics block. Keeping this layer identical across in-order,
+// out-of-order and SST cores is what makes their comparison measure only
+// the pipeline technique.
+package cpu
+
+import (
+	"errors"
+	"fmt"
+
+	"rocksim/internal/bpred"
+	"rocksim/internal/mem"
+)
+
+// Core is one simulated processor core advanced cycle by cycle.
+type Core interface {
+	// Step advances the core by one clock cycle.
+	Step()
+	// Cycle returns the current cycle count.
+	Cycle() uint64
+	// Done reports whether the program has halted (architecturally).
+	Done() bool
+	// Retired returns the number of architecturally retired
+	// (committed) instructions.
+	Retired() uint64
+	// Base returns the common statistics block.
+	Base() *BaseStats
+	// Err returns a fatal simulation error (illegal instruction), if any.
+	Err() error
+}
+
+// BaseStats is the statistics block common to all core models.
+type BaseStats struct {
+	Cycles  uint64
+	Retired uint64
+
+	Loads       uint64
+	Stores      uint64
+	LoadL1Hits  uint64
+	LoadL2Hits  uint64
+	LoadMemHits uint64
+
+	Branches      uint64
+	BranchMispred uint64
+
+	// MLP accounting: each cycle with >=1 outstanding data miss
+	// contributes one sample whose value is the number outstanding.
+	MLPSamples uint64
+	MLPSum     uint64
+}
+
+// IPC returns retired instructions per cycle.
+func (s *BaseStats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Retired) / float64(s.Cycles)
+}
+
+// MLP returns the average number of outstanding data misses over cycles
+// that had at least one outstanding.
+func (s *BaseStats) MLP() float64 {
+	if s.MLPSamples == 0 {
+		return 0
+	}
+	return float64(s.MLPSum) / float64(s.MLPSamples)
+}
+
+// CountLoadLevel attributes a load to the hierarchy level that served it.
+func (s *BaseStats) CountLoadLevel(lvl mem.Level) {
+	switch lvl {
+	case mem.LvlL1:
+		s.LoadL1Hits++
+	case mem.LvlL2:
+		s.LoadL2Hits++
+	default:
+		s.LoadMemHits++
+	}
+}
+
+// SampleMLP records one cycle's outstanding-miss count.
+func (s *BaseStats) SampleMLP(outstanding int) {
+	if outstanding > 0 {
+		s.MLPSamples++
+		s.MLPSum += uint64(outstanding)
+	}
+}
+
+// Machine is the per-core execution context handed to a core model.
+type Machine struct {
+	Mem    *mem.Sparse    // functional (architectural) memory
+	Hier   *mem.Hierarchy // timing hierarchy
+	CoreID int            // port index into the hierarchy
+	Pred   *bpred.Predictor
+
+	// Coherent controls whether committed stores broadcast
+	// invalidations to other cores' L1Ds (enabled by the CMP harness).
+	Coherent bool
+}
+
+// NewMachine builds a single-core machine over a fresh hierarchy.
+func NewMachine(m *mem.Sparse, hcfg mem.HierConfig, pcfg bpred.Config) (*Machine, error) {
+	h, err := mem.NewHierarchy(hcfg, 1)
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{Mem: m, Hier: h, CoreID: 0, Pred: bpred.New(pcfg)}, nil
+}
+
+// StoreVisible publishes a committed store for coherence purposes.
+func (m *Machine) StoreVisible(addr uint64) {
+	if m.Coherent {
+		m.Hier.StoreVisible(m.CoreID, addr)
+	}
+}
+
+// ErrCycleLimit is returned by Run when the cycle budget is exhausted.
+var ErrCycleLimit = errors.New("cpu: cycle limit exceeded")
+
+// Run steps the core until it halts or maxCycles elapse.
+func Run(c Core, maxCycles uint64) error {
+	for !c.Done() {
+		if c.Cycle() >= maxCycles {
+			return fmt.Errorf("%w (%d cycles, %d retired)", ErrCycleLimit, c.Cycle(), c.Retired())
+		}
+		c.Step()
+		if err := c.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,189 @@
+package cpu
+
+import (
+	"errors"
+	"testing"
+
+	"rocksim/internal/asm"
+	"rocksim/internal/bpred"
+	"rocksim/internal/isa"
+	"rocksim/internal/mem"
+)
+
+func machine(t *testing.T, prog *asm.Program) *Machine {
+	t.Helper()
+	m := mem.NewSparse()
+	prog.Load(m)
+	mach, err := NewMachine(m, mem.DefaultHierConfig(), bpred.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mach
+}
+
+func TestFrontendSequentialDelivery(t *testing.T) {
+	prog, err := asm.Assemble(`
+		movi r1, 1
+		movi r2, 2
+		movi r3, 3
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach := machine(t, prog)
+	fe := NewFrontend(mach, prog.Entry)
+
+	// Cold I-cache: first delivery stalls until the line arrives.
+	_, _, ok, err := fe.Next(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("delivered before the fetch line arrived")
+	}
+	// Advance time far enough for the fill.
+	now := uint64(2000)
+	var got []isa.Op
+	for i := 0; i < 4; i++ {
+		in, pc, ok, err := fe.Next(now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("stalled at inst %d", i)
+		}
+		if pc != prog.Entry+uint64(i)*isa.InstSize {
+			t.Errorf("pc = %#x", pc)
+		}
+		got = append(got, in.Op)
+		fe.Advance()
+	}
+	want := []isa.Op{isa.OpMovi, isa.OpMovi, isa.OpMovi, isa.OpHalt}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("inst %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFrontendRedirectBubble(t *testing.T) {
+	prog, err := asm.Assemble(`
+		movi r1, 1
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach := machine(t, prog)
+	fe := NewFrontend(mach, prog.Entry)
+	// Warm the line: step time forward until the first fetch delivers.
+	now := uint64(0)
+	for ; now < 10_000; now++ {
+		if _, _, ok, _ := fe.Next(now); ok {
+			break
+		}
+	}
+	if now == 10_000 {
+		t.Fatal("fetch never delivered")
+	}
+	fe.Redirect(prog.Entry+8, now, 5)
+	if !fe.Stalled(now + 4) {
+		t.Error("not stalled inside bubble")
+	}
+	if fe.Stalled(now + 5) {
+		t.Error("still stalled after bubble")
+	}
+	if _, _, ok, _ := fe.Next(now + 3); ok {
+		t.Error("delivered during bubble")
+	}
+	// The redirected fetch pays one more L1I hit latency (same line).
+	fe.Next(now + 5)
+	in, pc, ok, err := fe.Next(now + 6)
+	if err != nil || !ok {
+		t.Fatalf("not delivered after bubble: %v", err)
+	}
+	if pc != prog.Entry+8 || in.Op != isa.OpHalt {
+		t.Errorf("redirect target wrong: pc=%#x %v", pc, in.Op)
+	}
+}
+
+func TestFrontendDecodeError(t *testing.T) {
+	prog, err := asm.Assemble("halt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach := machine(t, prog)
+	// Scribble garbage at the entry.
+	mach.Mem.Write(prog.Entry, 1, 0xee)
+	fe := NewFrontend(mach, prog.Entry)
+	fe.Next(5000) // starts the line fetch
+	if _, _, _, err := fe.Next(6000); err == nil {
+		t.Error("decode error not surfaced")
+	}
+}
+
+func TestBaseStatsHelpers(t *testing.T) {
+	var s BaseStats
+	if s.IPC() != 0 || s.MLP() != 0 {
+		t.Error("zero-state helpers nonzero")
+	}
+	s.Cycles = 100
+	s.Retired = 250
+	if s.IPC() != 2.5 {
+		t.Errorf("IPC = %f", s.IPC())
+	}
+	s.SampleMLP(0) // no outstanding: not a sample
+	s.SampleMLP(3)
+	s.SampleMLP(5)
+	if s.MLP() != 4 {
+		t.Errorf("MLP = %f", s.MLP())
+	}
+	s.CountLoadLevel(mem.LvlL1)
+	s.CountLoadLevel(mem.LvlL2)
+	s.CountLoadLevel(mem.LvlMem)
+	if s.LoadL1Hits != 1 || s.LoadL2Hits != 1 || s.LoadMemHits != 1 {
+		t.Error("level counting wrong")
+	}
+}
+
+type stuckCore struct{ cycles uint64 }
+
+func (s *stuckCore) Step()            { s.cycles++ }
+func (s *stuckCore) Cycle() uint64    { return s.cycles }
+func (s *stuckCore) Done() bool       { return false }
+func (s *stuckCore) Retired() uint64  { return 0 }
+func (s *stuckCore) Base() *BaseStats { return &BaseStats{} }
+func (s *stuckCore) Err() error       { return nil }
+
+func TestRunCycleLimit(t *testing.T) {
+	err := Run(&stuckCore{}, 100)
+	if !errors.Is(err, ErrCycleLimit) {
+		t.Errorf("want ErrCycleLimit, got %v", err)
+	}
+}
+
+func TestStoreVisibleRespectsCoherentFlag(t *testing.T) {
+	prog, err := asm.Assemble("halt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.NewSparse()
+	prog.Load(m)
+	hier, err := mem.NewHierarchy(mem.DefaultHierConfig(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Core 1 caches a line.
+	hier.Access(1, mem.AccRead, 0x8000, 0)
+	mach := &Machine{Mem: m, Hier: hier, CoreID: 0, Pred: bpred.New(bpred.DefaultConfig())}
+	mach.StoreVisible(0x8000) // not coherent: no invalidation
+	if hier.Stats.CoherenceInvals != 0 {
+		t.Error("incoherent machine invalidated")
+	}
+	mach.Coherent = true
+	mach.StoreVisible(0x8000)
+	if hier.Stats.CoherenceInvals != 1 {
+		t.Error("coherent machine did not invalidate")
+	}
+}

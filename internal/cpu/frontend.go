@@ -1,0 +1,77 @@
+package cpu
+
+import (
+	"fmt"
+
+	"rocksim/internal/isa"
+	"rocksim/internal/mem"
+)
+
+// Frontend models instruction delivery: sequential fetch through the
+// L1 instruction cache with a one-line fetch buffer, plus redirect
+// bubbles for taken branches and mispredictions. All core models share
+// it, so frontend behaviour never biases the pipeline comparison.
+type Frontend struct {
+	m *Machine
+
+	pc         uint64
+	stallUntil uint64 // no instruction delivery before this cycle
+
+	// One-line fetch buffer.
+	lineAddr  uint64
+	lineReady uint64
+	haveLine  bool
+}
+
+// NewFrontend creates a frontend beginning execution at entry.
+func NewFrontend(m *Machine, entry uint64) *Frontend {
+	return &Frontend{m: m, pc: entry}
+}
+
+// PC returns the address of the next instruction to deliver.
+func (f *Frontend) PC() uint64 { return f.pc }
+
+// Redirect steers fetch to target, inserting penalty bubble cycles
+// starting at cycle now. Used for taken branches, mispredictions and
+// speculation rollbacks.
+func (f *Frontend) Redirect(target uint64, now uint64, penalty uint64) {
+	f.pc = target
+	f.haveLine = false
+	if until := now + penalty; until > f.stallUntil {
+		f.stallUntil = until
+	}
+}
+
+// Stalled reports whether the frontend is inside a redirect bubble at
+// cycle now.
+func (f *Frontend) Stalled(now uint64) bool { return now < f.stallUntil }
+
+// Advance moves the sequential fetch point past the instruction just
+// delivered (called by the core after consuming an instruction that did
+// not redirect).
+func (f *Frontend) Advance() { f.pc += isa.InstSize }
+
+// Next returns the instruction at the current PC if it can be delivered
+// at cycle now. ok is false while the frontend is stalled on a redirect
+// bubble or an instruction-cache fill.
+func (f *Frontend) Next(now uint64) (in isa.Inst, pc uint64, ok bool, err error) {
+	if now < f.stallUntil {
+		return isa.Inst{}, 0, false, nil
+	}
+	line := f.m.Hier.L1I(f.m.CoreID).LineAddr(f.pc)
+	if !f.haveLine || f.lineAddr != line {
+		res := f.m.Hier.Access(f.m.CoreID, mem.AccFetch, f.pc, now)
+		f.lineAddr = line
+		f.lineReady = res.Ready
+		f.haveLine = true
+	}
+	if now < f.lineReady {
+		return isa.Inst{}, 0, false, nil
+	}
+	w := f.m.Mem.Read(f.pc, isa.InstSize)
+	in, derr := isa.DecodeWord(w)
+	if derr != nil {
+		return in, f.pc, false, fmt.Errorf("cpu: fetch at pc=%#x: %w", f.pc, derr)
+	}
+	return in, f.pc, true, nil
+}

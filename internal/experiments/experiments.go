@@ -1,0 +1,121 @@
+// Package experiments regenerates every table and figure of the
+// reproduced evaluation (see DESIGN.md's per-experiment index and
+// EXPERIMENTS.md for measured results). Each experiment is a pure
+// function from a workload Scale to one or more printable tables plus
+// machine-readable rows that the tests assert on.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"rocksim/internal/sim"
+	"rocksim/internal/stats"
+	"rocksim/internal/workload"
+)
+
+// Result is one regenerated artifact (a paper table or figure).
+type Result struct {
+	ID     string // e.g. "F1"
+	Title  string
+	Tables []*stats.Table
+	// Notes carry headline observations (also asserted by tests).
+	Notes []string
+}
+
+// Fprint renders the result.
+func (r *Result) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "---- %s: %s ----\n", r.ID, r.Title)
+	for _, t := range r.Tables {
+		t.Fprint(w)
+		fmt.Fprintln(w)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+}
+
+// FprintCharts renders each table row as a horizontal bar chart —
+// terminal-friendly figure output.
+func (r *Result) FprintCharts(w io.Writer) {
+	for _, t := range r.Tables {
+		for _, ch := range stats.ChartsFromTable(t) {
+			ch.Fprint(w, 40)
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+// Runner runs experiments with caching of workload runs, so that
+// experiments sharing a (kind, workload, options) run do not repeat it.
+type Runner struct {
+	Scale sim.Kind // unused; kept simple
+	cache map[string]sim.Outcome
+}
+
+// NewRunner returns a Runner.
+func NewRunner() *Runner {
+	return &Runner{cache: make(map[string]sim.Outcome)}
+}
+
+// run executes workload w on core kind k with options o, caching by key.
+func (r *Runner) run(key string, k sim.Kind, spec *workload.Spec, opts sim.Options) (sim.Outcome, error) {
+	ck := fmt.Sprintf("%s|%v|%s", key, k, spec.Name)
+	if out, ok := r.cache[ck]; ok {
+		return out, nil
+	}
+	out, err := sim.Run(k, spec.Program, opts)
+	if err != nil {
+		return out, fmt.Errorf("experiments: %v on %s: %w", k, spec.Name, err)
+	}
+	r.cache[ck] = out
+	return out, nil
+}
+
+// All lists every experiment id in presentation order.
+var All = []string{"T1", "T2", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "F10", "F11", "F12", "F13", "F14", "F15", "F16", "T3"}
+
+// Run dispatches one experiment by id.
+func (r *Runner) Run(id string, scale workload.Scale) (*Result, error) {
+	switch id {
+	case "T1":
+		return ConfigTable(), nil
+	case "T2":
+		return WorkloadTable(scale)
+	case "F1":
+		return r.PerfComparison(scale)
+	case "F2":
+		return r.ModeBreakdown(scale)
+	case "F3":
+		return r.DQSweep(scale)
+	case "F4":
+		return r.CheckpointSweep(scale)
+	case "F5":
+		return r.SSBSweep(scale)
+	case "F6":
+		return r.MemLatencySweep(scale)
+	case "F7":
+		return r.MLPComparison(scale)
+	case "F8":
+		return r.Ablation(scale)
+	case "F9":
+		return r.CMPScaling(scale)
+	case "F10":
+		return r.RollbackAccounting(scale)
+	case "F11":
+		return r.BranchSweep(scale)
+	case "F12":
+		return r.SMTMode(scale)
+	case "F13":
+		return r.PolicyAblation(scale)
+	case "F14":
+		return r.PrefetchInterplay(scale)
+	case "F15":
+		return r.TLBSensitivity(scale)
+	case "F16":
+		return r.HTMContention(scale)
+	case "T3":
+		return AreaPowerProxy(), nil
+	}
+	return nil, fmt.Errorf("experiments: unknown experiment %q", id)
+}

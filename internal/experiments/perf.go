@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rocksim/internal/core"
+	"rocksim/internal/sim"
+	"rocksim/internal/stats"
+	"rocksim/internal/workload"
+)
+
+// sstStats extracts the SST statistics block from an outcome (the SST,
+// SST-EA and scout kinds all use the core package).
+func sstStats(out sim.Outcome) *core.Stats {
+	c, ok := out.Core.(*core.Core)
+	if !ok {
+		return nil
+	}
+	return c.Stats()
+}
+
+// PerfComparison regenerates Figure 1, the headline result: per-thread
+// performance of each machine on the commercial suite, normalized to the
+// in-order core. The paper's claim: certain SST implementations are ~18%
+// faster per thread than larger, higher-powered out-of-order cores on
+// commercial benchmarks.
+func (r *Runner) PerfComparison(scale workload.Scale) (*Result, error) {
+	specs, err := workload.BuildSuite(workload.CommercialNames, scale)
+	if err != nil {
+		return nil, err
+	}
+	opts := sim.DefaultOptions()
+	t := stats.NewTable("Figure 1: per-thread speedup over in-order (commercial suite)",
+		append([]string{"workload"}, kindNames()...)...)
+	perKind := map[sim.Kind][]float64{}
+	for _, w := range specs {
+		row := []any{w.Name}
+		var baseIPC float64
+		for _, k := range sim.Kinds {
+			out, err := r.run("F1", k, w, opts)
+			if err != nil {
+				return nil, err
+			}
+			ipc := out.IPC()
+			if k == sim.KindInOrder {
+				baseIPC = ipc
+			}
+			sp := ipc / baseIPC
+			perKind[k] = append(perKind[k], sp)
+			row = append(row, sp)
+		}
+		t.AddRow(row...)
+	}
+	row := []any{"geomean"}
+	geo := map[sim.Kind]float64{}
+	for _, k := range sim.Kinds {
+		geo[k] = stats.GeoMean(perKind[k])
+		row = append(row, geo[k])
+	}
+	t.AddRow(row...)
+
+	sstVsOOO := 100 * (geo[sim.KindSST]/geo[sim.KindOOOLarge] - 1)
+	bigVsOOO := 100 * (geo[sim.KindSSTBig]/geo[sim.KindOOOLarge] - 1)
+	return &Result{
+		ID:     "F1",
+		Title:  "per-thread performance vs in-order",
+		Tables: []*stats.Table{t},
+		Notes: []string{
+			fmt.Sprintf("SST vs larger OOO on commercial geomean: %+.1f%% per-thread (paper reports ~+18%% for \"certain SST implementations\")", sstVsOOO),
+			fmt.Sprintf("SST-big vs larger OOO: %+.1f%% — the paper's number sits between the two configurations", bigVsOOO),
+			fmt.Sprintf("SST vs in-order geomean: %.2fx (SST-big %.2fx)", geo[sim.KindSST], geo[sim.KindSSTBig]),
+		},
+	}, nil
+}
+
+func kindNames() []string {
+	var out []string
+	for _, k := range sim.Kinds {
+		out = append(out, k.String())
+	}
+	return out
+}
+
+// ModeBreakdown regenerates Figure 2: where SST cycles go per workload
+// (normal / ahead / replay / simultaneous / scout / stalls).
+func (r *Runner) ModeBreakdown(scale workload.Scale) (*Result, error) {
+	specs, err := workload.BuildSuite(workload.CommercialNames, scale)
+	if err != nil {
+		return nil, err
+	}
+	specs2, err := workload.BuildSuite([]string{"mcf", "stream"}, scale)
+	if err != nil {
+		return nil, err
+	}
+	specs = append(specs, specs2...)
+	opts := sim.DefaultOptions()
+	headers := []string{"workload"}
+	for k := core.CycleKind(0); k < core.NumCycleKinds; k++ {
+		headers = append(headers, k.String()+"%")
+	}
+	t := stats.NewTable("Figure 2: SST execution-cycle breakdown", headers...)
+	for _, w := range specs {
+		out, err := r.run("F1", sim.KindSST, w, opts)
+		if err != nil {
+			return nil, err
+		}
+		st := sstStats(out)
+		row := []any{w.Name}
+		for k := core.CycleKind(0); k < core.NumCycleKinds; k++ {
+			row = append(row, stats.Pct(st.ModeCycles[k], st.Cycles))
+		}
+		t.AddRow(row...)
+	}
+	return &Result{ID: "F2", Title: "SST execution-time breakdown", Tables: []*stats.Table{t}}, nil
+}
+
+// MLPComparison regenerates Figure 7: average outstanding misses (over
+// miss cycles) per machine — the mechanism behind Figure 1.
+func (r *Runner) MLPComparison(scale workload.Scale) (*Result, error) {
+	names := append(append([]string{}, workload.CommercialNames...), "mcf", "stream", "randarr", "chase")
+	specs, err := workload.BuildSuite(names, scale)
+	if err != nil {
+		return nil, err
+	}
+	opts := sim.DefaultOptions()
+	t := stats.NewTable("Figure 7: memory-level parallelism (mean outstanding L1D misses while missing)",
+		append([]string{"workload"}, kindNames()...)...)
+	for _, w := range specs {
+		row := []any{w.Name}
+		for _, k := range sim.Kinds {
+			out, err := r.run("F1", k, w, opts)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, out.Core.Base().MLP())
+		}
+		t.AddRow(row...)
+	}
+	return &Result{ID: "F7", Title: "memory-level parallelism", Tables: []*stats.Table{t}}, nil
+}
+
+// Ablation regenerates Figure 8: how much of SST's win comes from each
+// mechanism — scout (prefetch only), execute-ahead (DQ, one strand), and
+// full SST (simultaneous second strand).
+func (r *Runner) Ablation(scale workload.Scale) (*Result, error) {
+	names := append(append([]string{}, workload.CommercialNames...), "mcf", "stream", "gcc")
+	specs, err := workload.BuildSuite(names, scale)
+	if err != nil {
+		return nil, err
+	}
+	opts := sim.DefaultOptions()
+	kinds := []sim.Kind{sim.KindInOrder, sim.KindScout, sim.KindSSTEA, sim.KindSST}
+	headers := []string{"workload"}
+	for _, k := range kinds {
+		headers = append(headers, k.String())
+	}
+	t := stats.NewTable("Figure 8: ablation — speedup over in-order", headers...)
+	acc := map[sim.Kind][]float64{}
+	for _, w := range specs {
+		row := []any{w.Name}
+		var base float64
+		for _, k := range kinds {
+			out, err := r.run("F1", k, w, opts)
+			if err != nil {
+				return nil, err
+			}
+			if k == sim.KindInOrder {
+				base = out.IPC()
+			}
+			sp := out.IPC() / base
+			acc[k] = append(acc[k], sp)
+			row = append(row, sp)
+		}
+		t.AddRow(row...)
+	}
+	row := []any{"geomean"}
+	for _, k := range kinds {
+		row = append(row, stats.GeoMean(acc[k]))
+	}
+	t.AddRow(row...)
+	return &Result{
+		ID:     "F8",
+		Title:  "mechanism ablation",
+		Tables: []*stats.Table{t},
+		Notes: []string{
+			"expected ordering: in-order <= scout <= execute-ahead <= SST",
+		},
+	}, nil
+}
+
+// RollbackAccounting regenerates Figure 10: speculation failure causes
+// and the wasted-work rate.
+func (r *Runner) RollbackAccounting(scale workload.Scale) (*Result, error) {
+	specs, err := workload.BuildAll(scale)
+	if err != nil {
+		return nil, err
+	}
+	opts := sim.DefaultOptions()
+	headers := []string{"workload", "checkpoints", "commits", "rollbacks"}
+	for c := core.RollbackCause(0); c < core.NumRollbackCauses; c++ {
+		headers = append(headers, "rb:"+c.String())
+	}
+	headers = append(headers, "discarded-insts%", "defer%", "dq-occ-mean")
+	t := stats.NewTable("Figure 10: SST speculation outcome accounting", headers...)
+	for _, w := range specs {
+		out, err := r.run("F1", sim.KindSST, w, opts)
+		if err != nil {
+			return nil, err
+		}
+		st := sstStats(out)
+		row := []any{w.Name, st.CheckpointsTaken, st.EpochCommits, st.Rollbacks}
+		for cse := core.RollbackCause(0); cse < core.NumRollbackCauses; cse++ {
+			row = append(row, st.RollbacksBy[cse])
+		}
+		row = append(row,
+			stats.Pct(st.DiscardedInsts, st.DiscardedInsts+st.Retired),
+			stats.Pct(st.Deferrals, st.Retired),
+			st.DQOcc.Mean())
+		t.AddRow(row...)
+	}
+	return &Result{ID: "F10", Title: "rollback accounting", Tables: []*stats.Table{t}}, nil
+}

@@ -1,0 +1,324 @@
+// Package inorder implements the baseline in-order core: a W-wide,
+// stall-on-use pipeline with a scoreboard, a small store buffer, and no
+// speculation beyond branch prediction. It is the "conventional in-order
+// core" that SST is measured against, and — because it shares the ISA,
+// frontend, predictor and memory hierarchy with the other models — also
+// the architectural reference point for their timing.
+package inorder
+
+import (
+	"rocksim/internal/cpu"
+	"rocksim/internal/isa"
+	"rocksim/internal/mem"
+)
+
+// Config parameterizes the in-order core.
+type Config struct {
+	// Width is the issue width (instructions per cycle).
+	Width int
+	// MaxOutstandingLoads bounds loads in flight (stall-on-use allows a
+	// few overlapped misses before a dependent use arrives).
+	MaxOutstandingLoads int
+	// StoreBufferSize bounds committed-but-unwritten stores.
+	StoreBufferSize int
+	// TakenPenalty is the fetch bubble for a correctly predicted taken
+	// branch or jump.
+	TakenPenalty uint64
+	// MispredictPenalty is the fetch bubble for a mispredicted branch.
+	MispredictPenalty uint64
+}
+
+// DefaultConfig returns a Niagara-class 2-wide in-order core.
+func DefaultConfig() Config {
+	return Config{
+		Width:               2,
+		MaxOutstandingLoads: 4,
+		StoreBufferSize:     8,
+		TakenPenalty:        2,
+		MispredictPenalty:   8,
+	}
+}
+
+// StallKind classifies why an issue cycle made no progress.
+type StallKind int
+
+// Stall classifications.
+const (
+	StallNone StallKind = iota
+	StallFetch
+	StallRedirect
+	StallData
+	StallLoadLimit
+	StallStoreBuffer
+	numStalls
+)
+
+// Stats extends the common statistics with in-order stall accounting.
+type Stats struct {
+	cpu.BaseStats
+	StallCycles [numStalls]uint64
+}
+
+// Core is the in-order pipeline model.
+type Core struct {
+	cfg Config
+	m   *cpu.Machine
+	fe  *cpu.Frontend
+
+	regs    [isa.NumRegs]int64
+	readyAt [isa.NumRegs]uint64 // scoreboard: cycle the register value is usable
+
+	loadsInFlight []uint64 // completion cycles of outstanding loads
+	storeBuf      []uint64 // completion cycles of buffered stores
+
+	cycle uint64
+	done  bool
+	err   error
+
+	stats Stats
+}
+
+// New creates an in-order core executing from entry.
+func New(m *cpu.Machine, cfg Config, entry uint64) *Core {
+	if cfg.Width < 1 {
+		cfg.Width = 1
+	}
+	return &Core{cfg: cfg, m: m, fe: cpu.NewFrontend(m, entry)}
+}
+
+// Cycle returns the current cycle.
+func (c *Core) Cycle() uint64 { return c.cycle }
+
+// Done reports whether the program has halted.
+func (c *Core) Done() bool { return c.done }
+
+// Retired returns committed instructions.
+func (c *Core) Retired() uint64 { return c.stats.Retired }
+
+// Base returns the common statistics block.
+func (c *Core) Base() *cpu.BaseStats { return &c.stats.BaseStats }
+
+// Stats returns the full in-order statistics.
+func (c *Core) Stats() *Stats { return &c.stats }
+
+// Err returns a fatal simulation error, if any.
+func (c *Core) Err() error { return c.err }
+
+// Regs returns the architectural register file (for test validation).
+func (c *Core) Regs() [isa.NumRegs]int64 { return c.regs }
+
+func pruneTimes(ts []uint64, now uint64) []uint64 {
+	live := ts[:0]
+	for _, t := range ts {
+		if t > now {
+			live = append(live, t)
+		}
+	}
+	return live
+}
+
+func (c *Core) read(r uint8) int64 {
+	if r == isa.RegZero {
+		return 0
+	}
+	return c.regs[r]
+}
+
+func (c *Core) write(r uint8, v int64, ready uint64) {
+	if r == isa.RegZero {
+		return
+	}
+	c.regs[r] = v
+	c.readyAt[r] = ready
+}
+
+// Tick advances the core's clock one cycle without issuing anything:
+// the cycle belongs to another hardware thread sharing the pipeline
+// (used by the SMT wrapper). Buffers still drain with time.
+func (c *Core) Tick() {
+	now := c.cycle
+	c.loadsInFlight = pruneTimes(c.loadsInFlight, now)
+	c.storeBuf = pruneTimes(c.storeBuf, now)
+	c.stats.SampleMLP(c.m.Hier.OutstandingDataMisses(c.m.CoreID, now))
+	c.stats.Cycles++
+	c.cycle++
+}
+
+// Step advances the core one cycle.
+func (c *Core) Step() {
+	now := c.cycle
+	c.loadsInFlight = pruneTimes(c.loadsInFlight, now)
+	c.storeBuf = pruneTimes(c.storeBuf, now)
+
+	issued := 0
+	stall := StallNone
+issueLoop:
+	for issued < c.cfg.Width && !c.done {
+		if c.fe.Stalled(now) {
+			stall = StallRedirect
+			break
+		}
+		in, pc, ok, err := c.fe.Next(now)
+		if err != nil {
+			c.err = err
+			return
+		}
+		if !ok {
+			stall = StallFetch
+			break
+		}
+		// Scoreboard check: stall-on-use.
+		srcs, n := in.SrcRegs()
+		for i := 0; i < n; i++ {
+			if srcs[i] != isa.RegZero && c.readyAt[srcs[i]] > now {
+				stall = StallData
+				break issueLoop
+			}
+		}
+
+		redirected := false
+		switch in.Op.Class() {
+		case isa.ClassNop, isa.ClassBarrier:
+			if in.Op == isa.OpMembar && len(c.storeBuf) > 0 {
+				stall = StallStoreBuffer
+				break issueLoop
+			}
+		case isa.ClassHalt:
+			if len(c.storeBuf) > 0 || len(c.loadsInFlight) > 0 {
+				stall = StallStoreBuffer
+				break issueLoop
+			}
+			c.done = true
+		case isa.ClassALU:
+			v := isa.ALUResult(in, c.read(in.Rs1), c.read(in.Rs2))
+			c.write(in.Rd, v, now+uint64(in.Op.Latency()))
+		case isa.ClassLoad:
+			if len(c.loadsInFlight) >= c.cfg.MaxOutstandingLoads {
+				stall = StallLoadLimit
+				break issueLoop
+			}
+			addr := uint64(c.read(in.Rs1) + int64(in.Imm))
+			res := c.m.Hier.AccessLoad(c.m.CoreID, addr, pc, now)
+			raw := c.m.Mem.Read(addr, in.Op.MemWidth())
+			c.write(in.Rd, isa.ExtendLoad(in.Op, raw), res.Ready)
+			c.loadsInFlight = append(c.loadsInFlight, res.Ready)
+			c.stats.Loads++
+			c.stats.CountLoadLevel(res.Level)
+		case isa.ClassStore:
+			if len(c.storeBuf) >= c.cfg.StoreBufferSize {
+				stall = StallStoreBuffer
+				break issueLoop
+			}
+			addr := uint64(c.read(in.Rs1) + int64(in.Imm))
+			c.m.Mem.Write(addr, in.Op.MemWidth(), uint64(c.read(in.Rs2)))
+			res := c.m.Hier.Access(c.m.CoreID, mem.AccWrite, addr, now)
+			c.storeBuf = append(c.storeBuf, res.Ready)
+			c.m.StoreVisible(addr)
+			c.stats.Stores++
+		case isa.ClassBranch:
+			redirected = c.branch(in, pc, now)
+		case isa.ClassJump:
+			redirected = c.jump(in, pc, now)
+		case isa.ClassAtomic:
+			// cas: executes non-speculatively with the line in hand.
+			addr := uint64(c.read(in.Rs1))
+			res := c.m.Hier.Access(c.m.CoreID, mem.AccWrite, addr, now)
+			old := int64(c.m.Mem.Read(addr, 8))
+			if old == c.read(in.Rs2) {
+				c.m.Mem.Write(addr, 8, uint64(c.read(in.Rd)))
+				c.m.StoreVisible(addr)
+			}
+			c.write(in.Rd, old, res.Ready)
+			c.stats.Stores++
+		case isa.ClassPrefetch:
+			addr := uint64(c.read(in.Rs1) + int64(in.Imm))
+			c.m.Hier.Access(c.m.CoreID, mem.AccPrefetch, addr, now)
+		case isa.ClassTx:
+			// No transactional hardware: flat execution, always succeeds.
+			if in.Op == isa.OpTxBegin {
+				c.write(in.Rd, 0, now+1)
+			}
+		}
+
+		c.stats.Retired++
+		issued++
+		if !redirected && !c.done {
+			c.fe.Advance()
+		}
+		if redirected {
+			break // no issue past a control transfer in the same cycle
+		}
+	}
+
+	if issued == 0 && stall != StallNone {
+		c.stats.StallCycles[stall]++
+	}
+	c.stats.SampleMLP(c.m.Hier.OutstandingDataMisses(c.m.CoreID, now))
+	c.stats.Cycles++
+	c.cycle++
+}
+
+// branch resolves a conditional branch, charging predictor-dependent
+// bubbles, and reports whether fetch was redirected.
+func (c *Core) branch(in isa.Inst, pc uint64, now uint64) bool {
+	taken := isa.BranchTaken(in.Op, c.read(in.Rs1), c.read(in.Rs2))
+	pred := c.m.Pred.PredictDir(pc)
+	mis := pred != taken
+	c.m.Pred.UpdateDir(pc, taken, mis)
+	c.stats.Branches++
+	var target uint64
+	if taken {
+		target = in.BranchTarget(pc)
+	} else {
+		target = pc + isa.InstSize
+	}
+	var pen uint64
+	switch {
+	case mis:
+		pen = c.cfg.MispredictPenalty
+		c.stats.BranchMispred++
+	case taken:
+		pen = c.cfg.TakenPenalty
+	}
+	if pen > 0 || taken {
+		c.fe.Redirect(target, now, pen)
+		return true
+	}
+	return false
+}
+
+// jump resolves jal/jalr and reports whether fetch was redirected
+// (always true).
+func (c *Core) jump(in isa.Inst, pc uint64, now uint64) bool {
+	link := int64(pc + isa.InstSize)
+	var target uint64
+	pen := c.cfg.TakenPenalty
+	if in.Op == isa.OpJal {
+		target = in.BranchTarget(pc)
+		if in.Rd == isa.RegRA {
+			c.m.Pred.PushReturn(pc + isa.InstSize)
+		}
+	} else {
+		target = uint64(c.read(in.Rs1) + int64(in.Imm))
+		// Predict for penalty purposes: returns via RAS, other
+		// indirects via BTB.
+		var predicted uint64
+		var have bool
+		if in.Rd == isa.RegZero && in.Rs1 == isa.RegRA {
+			predicted, have = c.m.Pred.PopReturn()
+		} else {
+			predicted, have = c.m.Pred.PredictTarget(pc)
+		}
+		if !have || predicted != target {
+			pen = c.cfg.MispredictPenalty
+			c.stats.BranchMispred++
+		}
+		c.m.Pred.UpdateTarget(pc, target)
+		if in.Rd == isa.RegRA {
+			c.m.Pred.PushReturn(pc + isa.InstSize)
+		}
+	}
+	c.write(in.Rd, link, now+1)
+	c.fe.Redirect(target, now, pen)
+	return true
+}

@@ -1,0 +1,214 @@
+package inorder
+
+import (
+	"testing"
+
+	"rocksim/internal/asm"
+	"rocksim/internal/bpred"
+	"rocksim/internal/cpu"
+	"rocksim/internal/isa"
+	"rocksim/internal/mem"
+)
+
+func testHier() mem.HierConfig {
+	return mem.HierConfig{
+		L1I:     mem.CacheConfig{Name: "L1I", SizeBytes: 4 << 10, Ways: 2, LineBytes: 64, HitLatency: 1, MSHRs: 4},
+		L1D:     mem.CacheConfig{Name: "L1D", SizeBytes: 4 << 10, Ways: 2, LineBytes: 64, HitLatency: 2, MSHRs: 8},
+		L2:      mem.CacheConfig{Name: "L2", SizeBytes: 32 << 10, Ways: 4, LineBytes: 64, HitLatency: 10, MSHRs: 16},
+		L2Banks: 2,
+		DRAM:    mem.DRAMConfig{Latency: 200, Banks: 4, BankBusy: 8},
+	}
+}
+
+func build(t *testing.T, cfg Config, gen func(b *asm.Builder)) (*Core, *cpu.Machine) {
+	t.Helper()
+	b := asm.NewBuilder(asm.DefaultTextBase)
+	gen(b)
+	prog, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.NewSparse()
+	prog.Load(m)
+	mach, err := cpu.NewMachine(m, testHier(), bpred.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(mach, cfg, prog.Entry), mach
+}
+
+func TestArithmeticAndScoreboard(t *testing.T) {
+	c, _ := build(t, DefaultConfig(), func(b *asm.Builder) {
+		b.Movi(1, 6)
+		b.Movi(2, 7)
+		b.Op(isa.OpMul, 3, 1, 2)   // 4-cycle latency
+		b.Opi(isa.OpAddi, 4, 3, 1) // stalls on r3
+		b.Halt()
+	})
+	if err := cpu.Run(c, 10_000); err != nil {
+		t.Fatal(err)
+	}
+	if c.Regs()[3] != 42 || c.Regs()[4] != 43 {
+		t.Errorf("r3=%d r4=%d", c.Regs()[3], c.Regs()[4])
+	}
+	if c.Stats().StallCycles[StallData] == 0 {
+		t.Error("no data stall recorded for the mul consumer")
+	}
+}
+
+func TestStallOnUseOverlapsMisses(t *testing.T) {
+	// Two independent loads issue back to back; their misses overlap.
+	c, _ := build(t, DefaultConfig(), func(b *asm.Builder) {
+		b.Movi(1, 0x20000)
+		b.Movi(2, 0x30000)
+		b.Ld(isa.OpLd64, 3, 1, 0)
+		b.Ld(isa.OpLd64, 4, 2, 0)
+		b.Op(isa.OpAdd, 5, 3, 4) // stalls until both arrive
+		b.Halt()
+	})
+	if err := cpu.Run(c, 10_000); err != nil {
+		t.Fatal(err)
+	}
+	// One icache miss (~210) + one overlapped data-miss window (~210).
+	if c.Cycle() > 600 {
+		t.Errorf("cycles = %d, misses did not overlap", c.Cycle())
+	}
+	if c.Base().MLPSum < 2 {
+		t.Error("MLP never reached 2")
+	}
+}
+
+func TestMaxOutstandingLoadsLimit(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxOutstandingLoads = 1
+	c, _ := build(t, cfg, func(b *asm.Builder) {
+		b.Movi(1, 0x20000)
+		b.Ld(isa.OpLd64, 3, 1, 0)
+		b.Ld(isa.OpLd64, 4, 1, 4096)
+		b.Ld(isa.OpLd64, 5, 1, 8192)
+		b.Halt()
+	})
+	if err := cpu.Run(c, 10_000); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats().StallCycles[StallLoadLimit] == 0 {
+		t.Error("load-limit stall never triggered")
+	}
+}
+
+func TestBranchPenaltiesCharged(t *testing.T) {
+	c, _ := build(t, DefaultConfig(), func(b *asm.Builder) {
+		b.Movi(1, 50)
+		b.Label("loop")
+		b.Opi(isa.OpAddi, 1, 1, -1)
+		b.Br(isa.OpBne, 1, isa.RegZero, "loop")
+		b.Halt()
+	})
+	if err := cpu.Run(c, 100_000); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Branches != 50 {
+		t.Errorf("branches = %d", st.Branches)
+	}
+	// The loop-closing branch becomes predictable; only the first few
+	// and the final fall-through mispredict.
+	if st.BranchMispred == 0 || st.BranchMispred > 6 {
+		t.Errorf("mispredicts = %d", st.BranchMispred)
+	}
+	if st.StallCycles[StallRedirect] == 0 {
+		t.Error("no redirect bubbles recorded")
+	}
+}
+
+func TestStoreBufferBackpressure(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.StoreBufferSize = 1
+	c, mach := build(t, cfg, func(b *asm.Builder) {
+		b.Movi(1, 0x20000)
+		for i := 0; i < 6; i++ {
+			b.St(isa.OpSt64, 1, 1, int32(i*4096)) // distinct lines: slow stores
+		}
+		b.Halt()
+	})
+	if err := cpu.Run(c, 100_000); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats().StallCycles[StallStoreBuffer] == 0 {
+		t.Error("no store-buffer stalls with size 1")
+	}
+	for i := 0; i < 6; i++ {
+		if got := mach.Mem.Read(uint64(0x20000+i*4096), 8); got != 0x20000 {
+			t.Errorf("store %d = %#x", i, got)
+		}
+	}
+}
+
+func TestCallReturnUsesRAS(t *testing.T) {
+	c, _ := build(t, DefaultConfig(), func(b *asm.Builder) {
+		b.SetEntry("main")
+		b.Label("fn")
+		b.Opi(isa.OpAddi, 2, 2, 1)
+		b.Ret()
+		b.Label("main")
+		b.Movi(5, 10) // loop counter (r1 is the link register)
+		b.Label("loop")
+		b.Call("fn")
+		b.Opi(isa.OpAddi, 5, 5, -1)
+		b.Br(isa.OpBne, 5, isa.RegZero, "loop")
+		b.Halt()
+	})
+	if err := cpu.Run(c, 100_000); err != nil {
+		t.Fatal(err)
+	}
+	if c.Regs()[2] != 10 {
+		t.Errorf("r2 = %d", c.Regs()[2])
+	}
+}
+
+func TestWidthMatters(t *testing.T) {
+	gen := func(b *asm.Builder) {
+		// A compact loop (fits the I-cache) of independent adds so the
+		// comparison isolates issue width rather than fetch bandwidth.
+		b.Movi(1, 1)
+		b.Movi(2, 2)
+		b.Movi(5, 100)
+		b.Label("loop")
+		for i := 0; i < 16; i++ {
+			b.Op(isa.OpAdd, uint8(10+i%8), 1, 2)
+		}
+		b.Opi(isa.OpAddi, 5, 5, -1)
+		b.Br(isa.OpBne, 5, isa.RegZero, "loop")
+		b.Halt()
+	}
+	cfg1 := DefaultConfig()
+	cfg1.Width = 1
+	c1, _ := build(t, cfg1, gen)
+	if err := cpu.Run(c1, 100_000); err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := DefaultConfig()
+	cfg2.Width = 2
+	c2, _ := build(t, cfg2, gen)
+	if err := cpu.Run(c2, 100_000); err != nil {
+		t.Fatal(err)
+	}
+	if float64(c1.Cycle()) < 1.3*float64(c2.Cycle()) {
+		t.Errorf("width-2 (%d cyc) not meaningfully faster than width-1 (%d cyc)", c2.Cycle(), c1.Cycle())
+	}
+}
+
+func TestHaltDrainsBuffers(t *testing.T) {
+	c, mach := build(t, DefaultConfig(), func(b *asm.Builder) {
+		b.Movi(1, 0x20000)
+		b.Movi(2, 9)
+		b.St(isa.OpSt64, 2, 1, 0)
+		b.Halt()
+	})
+	if err := cpu.Run(c, 10_000); err != nil {
+		t.Fatal(err)
+	}
+	if got := mach.Mem.Read(0x20000, 8); got != 9 {
+		t.Errorf("store = %d", got)
+	}
+}

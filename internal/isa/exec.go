@@ -1,0 +1,158 @@
+package isa
+
+import "math/bits"
+
+// ALUResult evaluates a ClassALU instruction given its operand values.
+// For reg-imm forms b is ignored and the immediate is used; callers pass
+// the register operand values they captured.
+//
+// Division semantics follow RISC-V: divide-by-zero yields all-ones (-1)
+// for div/divu and the dividend for rem/remu; INT64_MIN / -1 overflows to
+// INT64_MIN with remainder 0. No traps.
+func ALUResult(in Inst, a, b int64) int64 {
+	imm := int64(in.Imm)
+	switch in.Op {
+	case OpAdd:
+		return a + b
+	case OpSub:
+		return a - b
+	case OpAnd:
+		return a & b
+	case OpOr:
+		return a | b
+	case OpXor:
+		return a ^ b
+	case OpSll:
+		return a << (uint64(b) & 63)
+	case OpSrl:
+		return int64(uint64(a) >> (uint64(b) & 63))
+	case OpSra:
+		return a >> (uint64(b) & 63)
+	case OpSlt:
+		if a < b {
+			return 1
+		}
+		return 0
+	case OpSltu:
+		if uint64(a) < uint64(b) {
+			return 1
+		}
+		return 0
+	case OpMul:
+		return a * b
+	case OpMulh:
+		hi, _ := bits.Mul64(uint64(a), uint64(b))
+		// Adjust unsigned high product to signed high product.
+		if a < 0 {
+			hi -= uint64(b)
+		}
+		if b < 0 {
+			hi -= uint64(a)
+		}
+		return int64(hi)
+	case OpDiv:
+		return divSigned(a, b)
+	case OpDivu:
+		if b == 0 {
+			return -1
+		}
+		return int64(uint64(a) / uint64(b))
+	case OpRem:
+		return remSigned(a, b)
+	case OpRemu:
+		if b == 0 {
+			return a
+		}
+		return int64(uint64(a) % uint64(b))
+	case OpAddi:
+		return a + imm
+	case OpAndi:
+		return a & imm
+	case OpOri:
+		return a | imm
+	case OpXori:
+		return a ^ imm
+	case OpSlli:
+		return a << (uint64(imm) & 63)
+	case OpSrli:
+		return int64(uint64(a) >> (uint64(imm) & 63))
+	case OpSrai:
+		return a >> (uint64(imm) & 63)
+	case OpSlti:
+		if a < imm {
+			return 1
+		}
+		return 0
+	case OpSltui:
+		if uint64(a) < uint64(imm) {
+			return 1
+		}
+		return 0
+	case OpMovi:
+		return imm
+	case OpLui:
+		return imm << 32
+	}
+	return 0
+}
+
+func divSigned(a, b int64) int64 {
+	if b == 0 {
+		return -1
+	}
+	if a == -1<<63 && b == -1 {
+		return a
+	}
+	return a / b
+}
+
+func remSigned(a, b int64) int64 {
+	if b == 0 {
+		return a
+	}
+	if a == -1<<63 && b == -1 {
+		return 0
+	}
+	return a % b
+}
+
+// BranchTaken evaluates a conditional branch given its operand values.
+func BranchTaken(op Op, a, b int64) bool {
+	switch op {
+	case OpBeq:
+		return a == b
+	case OpBne:
+		return a != b
+	case OpBlt:
+		return a < b
+	case OpBge:
+		return a >= b
+	case OpBltu:
+		return uint64(a) < uint64(b)
+	case OpBgeu:
+		return uint64(a) >= uint64(b)
+	}
+	return false
+}
+
+// ExtendLoad sign- or zero-extends a raw little-endian load value of the
+// given opcode's width.
+func ExtendLoad(op Op, raw uint64) int64 {
+	switch op {
+	case OpLd8:
+		return int64(int8(raw))
+	case OpLd16:
+		return int64(int16(raw))
+	case OpLd32:
+		return int64(int32(raw))
+	case OpLd64, OpCas:
+		return int64(raw)
+	case OpLdu8:
+		return int64(raw & 0xff)
+	case OpLdu16:
+		return int64(raw & 0xffff)
+	case OpLdu32:
+		return int64(raw & 0xffffffff)
+	}
+	return int64(raw)
+}

@@ -1,0 +1,279 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func testCacheCfg() CacheConfig {
+	return CacheConfig{Name: "T", SizeBytes: 4 << 10, Ways: 4, LineBytes: 64, HitLatency: 2, MSHRs: 4}
+}
+
+func TestCacheConfigValidate(t *testing.T) {
+	good := testCacheCfg()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []CacheConfig{
+		{Name: "a", SizeBytes: 0, Ways: 1, LineBytes: 64, HitLatency: 1},
+		{Name: "b", SizeBytes: 4096, Ways: 1, LineBytes: 60, HitLatency: 1},       // line not pow2
+		{Name: "c", SizeBytes: 4096, Ways: 3, LineBytes: 64, HitLatency: 1},       // not divisible
+		{Name: "d", SizeBytes: 3 * 64 * 2, Ways: 2, LineBytes: 64, HitLatency: 1}, // sets not pow2
+		{Name: "e", SizeBytes: 4096, Ways: 4, LineBytes: 64, HitLatency: 0},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %s accepted", c.Name)
+		}
+	}
+}
+
+func TestCacheHitMiss(t *testing.T) {
+	c := NewCache(testCacheCfg())
+	if _, hit := c.Lookup(0x1000, 0, false); hit {
+		t.Error("hit in empty cache")
+	}
+	c.Fill(0x1000, 10, false)
+	ready, hit := c.Lookup(0x1000, 20, false)
+	if !hit {
+		t.Fatal("miss after fill")
+	}
+	if ready != 22 {
+		t.Errorf("ready = %d, want 22 (now+hitlat)", ready)
+	}
+	if c.Stats.Hits != 1 || c.Stats.Misses != 1 {
+		t.Errorf("stats = %+v", c.Stats)
+	}
+}
+
+func TestCacheFillReadyGates(t *testing.T) {
+	c := NewCache(testCacheCfg())
+	c.Fill(0x1000, 100, false) // fill lands at cycle 100
+	ready, hit := c.Lookup(0x1000, 10, false)
+	if !hit {
+		t.Fatal("line should be present (in flight)")
+	}
+	if ready != 100 {
+		t.Errorf("ready = %d, want 100 (fill arrival)", ready)
+	}
+	ready, _ = c.Lookup(0x1000, 200, false)
+	if ready != 202 {
+		t.Errorf("ready = %d, want 202", ready)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	cfg := testCacheCfg() // 16 sets, 4 ways
+	c := NewCache(cfg)
+	nsets := cfg.SizeBytes / (cfg.Ways * cfg.LineBytes)
+	stride := uint64(nsets * cfg.LineBytes) // same-set stride
+	// Fill all four ways of set 0.
+	for w := 0; w < 4; w++ {
+		if ev := c.Fill(uint64(w)*stride, 0, false); ev.Valid {
+			t.Fatalf("eviction while filling way %d", w)
+		}
+	}
+	// Touch way 0 so way 1 becomes LRU.
+	c.Lookup(0, 1, false)
+	ev := c.Fill(4*stride, 2, false)
+	if !ev.Valid || ev.Addr != 1*stride {
+		t.Errorf("evicted %+v, want line %#x", ev, stride)
+	}
+	// Way 0 must still be present.
+	if _, hit := c.Lookup(0, 3, false); !hit {
+		t.Error("recently used line evicted")
+	}
+}
+
+func TestCacheDirtyWriteback(t *testing.T) {
+	cfg := testCacheCfg()
+	c := NewCache(cfg)
+	nsets := cfg.SizeBytes / (cfg.Ways * cfg.LineBytes)
+	stride := uint64(nsets * cfg.LineBytes)
+	c.Fill(0, 0, false)
+	c.Lookup(0, 1, true) // dirty it
+	for w := 1; w < 5; w++ {
+		c.Fill(uint64(w)*stride, 2, false)
+	}
+	if c.Stats.Writebacks != 1 {
+		t.Errorf("writebacks = %d, want 1", c.Stats.Writebacks)
+	}
+}
+
+func TestCacheInvalidate(t *testing.T) {
+	c := NewCache(testCacheCfg())
+	c.Fill(0x2000, 0, true)
+	present, dirty := c.Invalidate(0x2000)
+	if !present || !dirty {
+		t.Errorf("invalidate = %v, %v", present, dirty)
+	}
+	if _, hit := c.Lookup(0x2000, 1, false); hit {
+		t.Error("line present after invalidate")
+	}
+	if present, _ := c.Invalidate(0x9999000); present {
+		t.Error("invalidate of absent line reported present")
+	}
+}
+
+func TestCacheProbeDoesNotTouch(t *testing.T) {
+	c := NewCache(testCacheCfg())
+	c.Fill(0x3000, 0, false)
+	h, m := c.Stats.Hits, c.Stats.Misses
+	if !c.Probe(0x3000) || c.Probe(0x4000) {
+		t.Error("probe wrong")
+	}
+	if c.Stats.Hits != h || c.Stats.Misses != m {
+		t.Error("probe touched stats")
+	}
+}
+
+// TestCacheCapacityProperty: after filling arbitrary lines, the number
+// of distinct resident lines never exceeds capacity, and the most
+// recently filled line is always resident.
+func TestCacheCapacityProperty(t *testing.T) {
+	cfg := testCacheCfg()
+	capacity := cfg.SizeBytes / cfg.LineBytes
+	f := func(seeds []uint16) bool {
+		c := NewCache(cfg)
+		resident := map[uint64]bool{}
+		for i, s := range seeds {
+			line := uint64(s) * uint64(cfg.LineBytes)
+			ev := c.Fill(line, uint64(i), false)
+			resident[line] = true
+			if ev.Valid {
+				delete(resident, ev.Addr)
+			}
+			if !c.Probe(line) {
+				return false
+			}
+		}
+		if len(resident) > capacity {
+			return false
+		}
+		// Everything the cache claims resident must match our model.
+		for line := range resident {
+			if !c.Probe(line) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCacheRefillExisting(t *testing.T) {
+	c := NewCache(testCacheCfg())
+	c.Fill(0x1000, 50, false)
+	// A merged fill arriving earlier shortens availability.
+	ev := c.Fill(0x1000, 30, true)
+	if ev.Valid {
+		t.Error("refill evicted something")
+	}
+	ready, hit := c.Lookup(0x1000, 0, false)
+	if !hit || ready != 30 {
+		t.Errorf("ready = %d, want 30", ready)
+	}
+	// Dirty bit from the refill must stick.
+	c.Fill(0x1000, 60, false)
+	present, dirty := c.Invalidate(0x1000)
+	if !present || !dirty {
+		t.Error("dirty bit lost on refill")
+	}
+}
+
+func TestMSHRMergeAndCapacity(t *testing.T) {
+	m := NewMSHR(2)
+	if at := m.AllocAt(10); at != 10 {
+		t.Errorf("alloc on empty = %d", at)
+	}
+	m.Add(0x40, 100)
+	if ready, ok := m.Lookup(0x40, 20); !ok || ready != 100 {
+		t.Errorf("lookup = %d, %v", ready, ok)
+	}
+	if m.Merges != 1 {
+		t.Errorf("merges = %d", m.Merges)
+	}
+	m.Add(0x80, 200)
+	// Full: next alloc waits for the earliest completion (cycle 100).
+	if at := m.AllocAt(30); at != 100 {
+		t.Errorf("alloc when full = %d, want 100", at)
+	}
+	if m.FullStalls != 1 {
+		t.Errorf("full stalls = %d", m.FullStalls)
+	}
+	// After expiry the register frees.
+	if at := m.AllocAt(150); at != 150 {
+		t.Errorf("alloc after expiry = %d", at)
+	}
+	if m.Outstanding(150) != 1 {
+		t.Errorf("outstanding = %d", m.Outstanding(150))
+	}
+}
+
+func TestMSHRExpiry(t *testing.T) {
+	m := NewMSHR(4)
+	m.Add(0x40, 50)
+	if _, ok := m.Lookup(0x40, 50); ok {
+		t.Error("entry should expire at its ready cycle")
+	}
+	if m.Outstanding(50) != 0 {
+		t.Error("outstanding after expiry")
+	}
+}
+
+func TestDRAMBankConflicts(t *testing.T) {
+	d := NewDRAM(DRAMConfig{Latency: 100, Banks: 2, BankBusy: 20}, 64)
+	// Two accesses to the same bank (lines 0 and 2 with 2 banks).
+	r1 := d.Read(0, 0)
+	r2 := d.Read(128, 0) // same bank as 0
+	if r1 != 100 {
+		t.Errorf("r1 = %d", r1)
+	}
+	if r2 != 120 { // starts at 20 when bank frees
+		t.Errorf("r2 = %d, want 120", r2)
+	}
+	// Different bank: no conflict.
+	r3 := d.Read(64, 0)
+	if r3 != 100 {
+		t.Errorf("r3 = %d, want 100", r3)
+	}
+	if d.Stats.BankConflicts != 1 {
+		t.Errorf("conflicts = %d", d.Stats.BankConflicts)
+	}
+	if d.Stats.Reads != 3 {
+		t.Errorf("reads = %d", d.Stats.Reads)
+	}
+}
+
+func TestDRAMWriteOccupiesBank(t *testing.T) {
+	d := NewDRAM(DRAMConfig{Latency: 100, Banks: 1, BankBusy: 30}, 64)
+	d.Write(0, 0)
+	if r := d.Read(64, 0); r != 130 {
+		t.Errorf("read after write = %d, want 130", r)
+	}
+}
+
+// TestDRAMMonotonicProperty: per bank, service start times never go
+// backwards regardless of request order.
+func TestDRAMMonotonicProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	d := NewDRAM(DRAMConfig{Latency: 50, Banks: 4, BankBusy: 10}, 64)
+	lastReady := map[int]uint64{}
+	now := uint64(0)
+	for i := 0; i < 1000; i++ {
+		now += uint64(r.Intn(5))
+		addr := uint64(r.Intn(64)) * 64
+		bank := int((addr / 64) % 4)
+		ready := d.Read(addr, now)
+		if ready < now+50 {
+			t.Fatalf("ready %d < now+latency", ready)
+		}
+		if ready < lastReady[bank] {
+			t.Fatalf("bank %d ready went backwards: %d < %d", bank, ready, lastReady[bank])
+		}
+		lastReady[bank] = ready
+	}
+}

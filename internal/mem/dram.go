@@ -1,0 +1,85 @@
+package mem
+
+// DRAMConfig describes the main-memory timing model.
+type DRAMConfig struct {
+	// Latency is the unloaded access latency in core cycles (row
+	// activate + column read + transfer, flattened).
+	Latency int
+	// Banks is the number of independent banks; consecutive lines
+	// interleave across banks.
+	Banks int
+	// BankBusy is the bank occupancy per access in cycles (cycle-time
+	// of a bank); back-to-back accesses to one bank serialize on it.
+	BankBusy int
+}
+
+// DRAMStats counts main-memory events.
+type DRAMStats struct {
+	Reads         uint64
+	Writes        uint64
+	BankConflicts uint64 // accesses delayed by a busy bank
+	BusyCycles    uint64 // total cycles of bank occupancy accrued
+}
+
+// DRAM models a banked main memory with fixed access latency and
+// per-bank occupancy. It carries no data (data lives in the functional
+// memory); it only answers "when is this access done".
+type DRAM struct {
+	cfg      DRAMConfig
+	bankFree []uint64
+	lineBits uint
+	Stats    DRAMStats
+}
+
+// NewDRAM builds the DRAM model. lineBytes is the transfer unit (the L2
+// line size), used for bank interleaving.
+func NewDRAM(cfg DRAMConfig, lineBytes int) *DRAM {
+	if cfg.Banks <= 0 {
+		cfg.Banks = 1
+	}
+	if cfg.BankBusy <= 0 {
+		cfg.BankBusy = 1
+	}
+	if cfg.Latency <= 0 {
+		cfg.Latency = 1
+	}
+	return &DRAM{
+		cfg:      cfg,
+		bankFree: make([]uint64, cfg.Banks),
+		lineBits: uint(log2(lineBytes)),
+	}
+}
+
+// Config returns the DRAM configuration.
+func (d *DRAM) Config() DRAMConfig { return d.cfg }
+
+func (d *DRAM) bank(addr uint64) int {
+	return int((addr >> d.lineBits) % uint64(d.cfg.Banks))
+}
+
+// Read schedules a line read beginning no earlier than cycle now and
+// returns the cycle at which the data is available.
+func (d *DRAM) Read(addr uint64, now uint64) (ready uint64) {
+	d.Stats.Reads++
+	return d.access(addr, now)
+}
+
+// Write schedules a line writeback beginning no earlier than cycle now
+// and returns the cycle at which the bank is released. Writebacks are
+// not on any load's critical path but do occupy banks.
+func (d *DRAM) Write(addr uint64, now uint64) (done uint64) {
+	d.Stats.Writes++
+	return d.access(addr, now)
+}
+
+func (d *DRAM) access(addr uint64, now uint64) uint64 {
+	b := d.bank(addr)
+	start := now
+	if d.bankFree[b] > start {
+		start = d.bankFree[b]
+		d.Stats.BankConflicts++
+	}
+	d.bankFree[b] = start + uint64(d.cfg.BankBusy)
+	d.Stats.BusyCycles += uint64(d.cfg.BankBusy)
+	return start + uint64(d.cfg.Latency)
+}

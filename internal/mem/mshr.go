@@ -1,0 +1,86 @@
+package mem
+
+// MSHR models a file of miss-status holding registers. Each entry tracks
+// one in-flight line fill. A second miss to the same line while the fill
+// is outstanding merges onto the existing entry instead of issuing a new
+// request — this is the mechanism that converts a core's overlapped
+// misses into memory-level parallelism without duplicate traffic.
+type MSHR struct {
+	cap     int
+	entries []mshrEntry
+	// Stats
+	Merges     uint64 // misses absorbed by an in-flight entry
+	FullStalls uint64 // misses delayed because all registers were busy
+}
+
+type mshrEntry struct {
+	line  uint64
+	ready uint64
+}
+
+// NewMSHR returns an MSHR file with the given number of registers.
+// capacity <= 0 models a blocking cache (a single implicit register).
+func NewMSHR(capacity int) *MSHR {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &MSHR{cap: capacity}
+}
+
+// Cap returns the number of registers.
+func (m *MSHR) Cap() int { return m.cap }
+
+// expire drops entries whose fills have completed.
+func (m *MSHR) expire(now uint64) {
+	live := m.entries[:0]
+	for _, e := range m.entries {
+		if e.ready > now {
+			live = append(live, e)
+		}
+	}
+	m.entries = live
+}
+
+// Lookup reports whether a fill for line is already in flight at cycle
+// now, and if so when it completes. A hit counts as a merge.
+func (m *MSHR) Lookup(line uint64, now uint64) (ready uint64, inFlight bool) {
+	m.expire(now)
+	for _, e := range m.entries {
+		if e.line == line {
+			m.Merges++
+			return e.ready, true
+		}
+	}
+	return 0, false
+}
+
+// Outstanding returns the number of fills in flight at cycle now.
+func (m *MSHR) Outstanding(now uint64) int {
+	m.expire(now)
+	return len(m.entries)
+}
+
+// AllocAt returns the earliest cycle at or after now at which a new
+// entry can be allocated. If the file is full, that is the completion
+// time of the soonest-finishing entry (the requesting access stalls
+// until then); the stall is counted.
+func (m *MSHR) AllocAt(now uint64) uint64 {
+	m.expire(now)
+	if len(m.entries) < m.cap {
+		return now
+	}
+	m.FullStalls++
+	earliest := m.entries[0].ready
+	for _, e := range m.entries[1:] {
+		if e.ready < earliest {
+			earliest = e.ready
+		}
+	}
+	return earliest
+}
+
+// Add records a new in-flight fill for line completing at ready.
+// The caller must have honoured AllocAt.
+func (m *MSHR) Add(line uint64, ready uint64) {
+	m.entries = append(m.entries, mshrEntry{line: line, ready: ready})
+}

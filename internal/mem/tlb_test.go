@@ -1,0 +1,140 @@
+package mem
+
+import "testing"
+
+func TestTLBDisabled(t *testing.T) {
+	if NewTLB(TLBConfig{}) != nil {
+		t.Error("zero config should disable the TLB")
+	}
+}
+
+func TestTLBHitMiss(t *testing.T) {
+	tlb := NewTLB(TLBConfig{Entries: 8, Ways: 2, PageBits: 12, MissLatency: 100})
+	if p := tlb.Translate(0x1000); p != 100 {
+		t.Errorf("cold miss penalty = %d", p)
+	}
+	if p := tlb.Translate(0x1fff); p != 0 {
+		t.Errorf("same-page hit penalty = %d", p)
+	}
+	if p := tlb.Translate(0x2000); p != 100 {
+		t.Errorf("new page penalty = %d", p)
+	}
+	if tlb.Stats.Hits != 1 || tlb.Stats.Misses != 2 {
+		t.Errorf("stats = %+v", tlb.Stats)
+	}
+	if tlb.Stats.MissRate() < 0.6 {
+		t.Errorf("miss rate = %f", tlb.Stats.MissRate())
+	}
+}
+
+func TestTLBLRUWithinSet(t *testing.T) {
+	// 4 entries, 2 ways -> 2 sets; pages with equal low bit share a set.
+	tlb := NewTLB(TLBConfig{Entries: 4, Ways: 2, PageBits: 12, MissLatency: 50})
+	page := func(n uint64) uint64 { return n << 12 }
+	tlb.Translate(page(0)) // set 0
+	tlb.Translate(page(2)) // set 0
+	tlb.Translate(page(0)) // touch: page 2 becomes LRU
+	tlb.Translate(page(4)) // set 0: evicts page 2
+	if p := tlb.Translate(page(0)); p != 0 {
+		t.Error("recently used page evicted")
+	}
+	if p := tlb.Translate(page(2)); p == 0 {
+		t.Error("LRU page not evicted")
+	}
+}
+
+func TestTLBInHierarchy(t *testing.T) {
+	cfg := smallHier(t, 1).Config()
+	cfg.DTLB = TLBConfig{Entries: 4, Ways: 2, PageBits: 12, MissLatency: 500}
+	h, err := NewHierarchy(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A data access pays the walk; a fetch does not translate.
+	r := h.Access(0, AccRead, 0x100000, 0)
+	if r.Ready < 500 {
+		t.Errorf("read ready %d ignores TLB walk", r.Ready)
+	}
+	h.Access(0, AccFetch, 0x200000, 0)
+	if h.DTLB(0).Stats.Misses != 1 {
+		t.Errorf("fetch translated: misses = %d", h.DTLB(0).Stats.Misses)
+	}
+	// Same page again: only the cache latency remains.
+	r2 := h.Access(0, AccRead, 0x100040, r.Ready+10)
+	if r2.Ready-(r.Ready+10) >= 500 {
+		t.Error("TLB hit still paid the walk")
+	}
+}
+
+func TestStridePrefetcherTrains(t *testing.T) {
+	p := newStridePrefetcher(StridePrefetcherConfig{Entries: 16, Degree: 2, MinConfidence: 2})
+	pc := uint64(0x1000)
+	var got []uint64
+	for i := 0; i < 6; i++ {
+		got = p.observe(pc, uint64(0x8000+i*64))
+	}
+	if len(got) != 2 {
+		t.Fatalf("prefetches = %v", got)
+	}
+	if got[0] != 0x8000+6*64 || got[1] != 0x8000+7*64 {
+		t.Errorf("targets = %#x", got)
+	}
+	// A stride change resets confidence.
+	if out := p.observe(pc, 0x20000); out != nil {
+		t.Errorf("prefetched right after stride change: %#x", out)
+	}
+}
+
+func TestStridePrefetcherIgnoresRandom(t *testing.T) {
+	p := newStridePrefetcher(DefaultStrideConfig())
+	pc := uint64(0x2000)
+	addrs := []uint64{0x1000, 0x9040, 0x3980, 0x77100, 0x1240}
+	for _, a := range addrs {
+		if out := p.observe(pc, a); out != nil {
+			t.Errorf("prefetched on random stream: %#x", out)
+		}
+	}
+}
+
+func TestStridePrefetcherNegativeStride(t *testing.T) {
+	p := newStridePrefetcher(StridePrefetcherConfig{Entries: 8, Degree: 1, MinConfidence: 2})
+	pc := uint64(0x3000)
+	var got []uint64
+	for i := 5; i >= 0; i-- {
+		got = p.observe(pc, uint64(0x10000+i*128))
+	}
+	if len(got) != 1 || got[0] != 0x10000-128 {
+		t.Errorf("negative-stride targets = %#x", got)
+	}
+	// Below-zero targets are dropped.
+	p2 := newStridePrefetcher(StridePrefetcherConfig{Entries: 8, Degree: 1, MinConfidence: 1})
+	p2.observe(0x10, 250)
+	p2.observe(0x10, 150)
+	if out := p2.observe(0x10, 50); len(out) != 0 {
+		t.Errorf("underflowing prefetch emitted: %v", out)
+	}
+}
+
+func TestStrideInHierarchy(t *testing.T) {
+	cfg := smallHier(t, 1).Config()
+	cfg.Prefetch = PrefetchStride
+	cfg.Stride = StridePrefetcherConfig{Entries: 16, Degree: 2, MinConfidence: 2}
+	h, err := NewHierarchy(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := uint64(0x10000)
+	now := uint64(0)
+	// Walk a 4KB stride; after training, later lines should be covered.
+	for i := 0; i < 8; i++ {
+		res := h.AccessLoad(0, uint64(0x100000+i*4096), pc, now)
+		now = res.Ready + 1
+	}
+	if h.Stats.Prefetches == 0 {
+		t.Error("stride prefetcher never fired")
+	}
+	// The next line in the pattern should already be present/in flight.
+	if !h.L1D(0).Probe(uint64(0x100000 + 8*4096)) {
+		t.Error("next stride target not prefetched")
+	}
+}

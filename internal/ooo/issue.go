@@ -1,0 +1,265 @@
+package ooo
+
+import (
+	"rocksim/internal/isa"
+	"rocksim/internal/mem"
+)
+
+// issue selects up to IssueWidth ready instructions among the IQSize
+// oldest unissued entries and executes them.
+func (c *Core) issue(now uint64) {
+	issued := 0
+	examined := 0
+	for i := 0; i < c.count && issued < c.cfg.IssueWidth && examined < c.cfg.IQSize; i++ {
+		e := c.at(i)
+		if e.issued {
+			continue
+		}
+		examined++
+		if c.tryExecute(e, i, now) {
+			issued++
+			// Squashes invalidate iteration state: restart scan.
+			if int(e.seq-c.headSeq) >= c.count {
+				break
+			}
+		}
+	}
+	if issued == 0 && c.count > 0 {
+		c.stats.EmptyIssueCycles++
+	}
+}
+
+// operand returns the value of source s of entry e if it is available at
+// cycle now.
+func (c *Core) operand(e *robEntry, s int, now uint64) (int64, bool) {
+	src := &e.src[s]
+	if !src.hasTag {
+		if src.reg == isa.RegZero {
+			return 0, true
+		}
+		return c.regs[src.reg], true
+	}
+	p := c.entryBySeq(src.tag)
+	if p == nil {
+		// Producer already committed; its value is architectural.
+		return c.regs[src.reg], true
+	}
+	if p.executed && p.readyAt <= now {
+		return p.value, true
+	}
+	return 0, false
+}
+
+func (c *Core) operands(e *robEntry, now uint64) ([3]int64, bool) {
+	var vals [3]int64
+	for i := 0; i < e.nsrc; i++ {
+		v, ok := c.operand(e, i, now)
+		if !ok {
+			return vals, false
+		}
+		vals[i] = v
+	}
+	return vals, true
+}
+
+// tryExecute attempts to issue entry e (at ROB index idx). It returns
+// true if the entry issued this cycle.
+func (c *Core) tryExecute(e *robEntry, idx int, now uint64) bool {
+	in := e.in
+	vals, ready := c.operands(e, now)
+	if !ready {
+		return false
+	}
+	switch in.Op.Class() {
+	case isa.ClassNop, isa.ClassHalt:
+		e.value = 0
+		e.readyAt = now
+	case isa.ClassBarrier:
+		// Serializing: only at the head.
+		if idx != 0 {
+			return false
+		}
+		e.readyAt = now + 1
+	case isa.ClassALU:
+		e.value = isa.ALUResult(in, vals[0], vals[1])
+		e.readyAt = now + uint64(in.Op.Latency())
+	case isa.ClassLoad:
+		return c.issueLoad(e, idx, vals[0], now)
+	case isa.ClassStore:
+		e.addr = uint64(vals[0] + int64(in.Imm))
+		e.msize = in.Op.MemWidth()
+		e.storeVal = vals[1]
+		e.addrValid = true
+		e.readyAt = now + 1
+		e.issued = true
+		e.executed = true
+		c.checkViolations(e, idx, now)
+		return true
+	case isa.ClassBranch:
+		taken := isa.BranchTaken(in.Op, vals[0], vals[1])
+		mis := taken != e.predTaken
+		c.m.Pred.UpdateDir(e.pc, taken, mis)
+		c.stats.Branches++
+		e.readyAt = now + 1
+		e.issued = true
+		e.executed = true
+		if mis {
+			c.stats.BranchMispred++
+			c.stats.Squashes++
+			target := e.pc + isa.InstSize
+			if taken {
+				target = in.BranchTarget(e.pc)
+			}
+			c.squashAfter(e.seq, target, now, c.cfg.MispredictPenalty)
+		}
+		return true
+	case isa.ClassJump:
+		e.value = int64(e.pc + isa.InstSize)
+		e.readyAt = now + 1
+		e.issued = true
+		e.executed = true
+		if in.Op == isa.OpJalr {
+			target := uint64(vals[0] + int64(in.Imm))
+			c.m.Pred.UpdateTarget(e.pc, target)
+			switch {
+			case c.fetchBlocked && c.fetchBlockedSeq == e.seq:
+				c.fetchBlocked = false
+				c.fe.Redirect(target, now, c.cfg.TakenPenalty)
+			case e.hasPredTgt && e.predTarget != target:
+				c.stats.BranchMispred++
+				c.stats.Squashes++
+				c.squashAfter(e.seq, target, now, c.cfg.MispredictPenalty)
+			}
+		}
+		return true
+	case isa.ClassAtomic:
+		// Atomics execute non-speculatively at the ROB head.
+		if idx != 0 {
+			return false
+		}
+		addr := uint64(vals[0])
+		res := c.m.Hier.Access(c.m.CoreID, mem.AccWrite, addr, now)
+		old := int64(c.m.Mem.Read(addr, 8))
+		if old == vals[1] {
+			c.m.Mem.Write(addr, 8, uint64(vals[2]))
+			c.m.StoreVisible(addr)
+		}
+		e.value = old
+		e.addr = addr
+		e.msize = 8
+		e.addrValid = true
+		e.readyAt = res.Ready
+	case isa.ClassPrefetch:
+		c.m.Hier.Access(c.m.CoreID, mem.AccPrefetch, uint64(vals[0]+int64(in.Imm)), now)
+		e.readyAt = now
+	case isa.ClassTx:
+		// No transactional hardware: flat execution, always succeeds
+		// (txbegin's destination commits as zero).
+		e.value = 0
+		e.readyAt = now + 1
+	}
+	e.issued = true
+	e.executed = true
+	return true
+}
+
+// issueLoad handles disambiguation, forwarding and timing for a load.
+func (c *Core) issueLoad(e *robEntry, idx int, base int64, now uint64) bool {
+	in := e.in
+	addr := uint64(base + int64(in.Imm))
+	size := in.Op.MemWidth()
+
+	// Disambiguation against older stores.
+	for i := 0; i < idx; i++ {
+		s := c.at(i)
+		if !s.in.Op.IsStore() {
+			continue
+		}
+		if !s.addrValid {
+			if c.cfg.SpecLoads {
+				continue // speculate past it; violation check will catch
+			}
+			return false // conservative: wait for the store to issue
+		}
+	}
+
+	// Compose the value: architectural memory overlaid with older
+	// in-flight stores (program order), byte by byte.
+	buf := make([]byte, size)
+	fromStore := make([]bool, size)
+	raw := c.m.Mem.Read(addr, size)
+	for i := 0; i < size; i++ {
+		buf[i] = byte(raw >> (8 * i))
+	}
+	forwardedAll := size > 0
+	for i := 0; i < idx; i++ {
+		s := c.at(i)
+		if !s.in.Op.IsStore() || !s.addrValid {
+			continue
+		}
+		overlayStore(buf, fromStore, addr, s.addr, s.msize, s.storeVal)
+	}
+	for _, f := range fromStore {
+		if !f {
+			forwardedAll = false
+		}
+	}
+	var v uint64
+	for i := size - 1; i >= 0; i-- {
+		v = v<<8 | uint64(buf[i])
+	}
+	e.value = isa.ExtendLoad(in.Op, v)
+	e.addr = addr
+	e.msize = size
+	e.addrValid = true
+
+	if forwardedAll {
+		e.readyAt = now + 1
+	} else {
+		res := c.m.Hier.AccessLoad(c.m.CoreID, addr, e.pc, now)
+		e.readyAt = res.Ready
+		c.stats.CountLoadLevel(res.Level)
+	}
+	c.stats.Loads++
+	e.issued = true
+	e.executed = true
+	return true
+}
+
+// overlayStore copies the bytes of a store that overlap the load window
+// [base, base+len(buf)) into buf.
+func overlayStore(buf []byte, from []bool, base, saddr uint64, ssize int, sval int64) {
+	for b := 0; b < ssize; b++ {
+		a := saddr + uint64(b)
+		if a >= base && a < base+uint64(len(buf)) {
+			buf[a-base] = byte(uint64(sval) >> (8 * b))
+			from[a-base] = true
+		}
+	}
+}
+
+// checkViolations detects younger loads that issued speculatively past
+// this store and read stale data; the oldest violator and everything
+// younger are squashed and refetched.
+func (c *Core) checkViolations(st *robEntry, idx int, now uint64) {
+	if !c.cfg.SpecLoads {
+		return
+	}
+	for i := idx + 1; i < c.count; i++ {
+		l := c.at(i)
+		if !l.in.Op.IsLoad() || !l.issued || !l.addrValid {
+			continue
+		}
+		if rangesOverlap(l.addr, l.msize, st.addr, st.msize) {
+			c.stats.MemOrderViolations++
+			c.stats.Squashes++
+			// Squash from the violating load (inclusive) and refetch it.
+			c.squashAfter(l.seq-1, l.pc, now, c.cfg.MispredictPenalty)
+			return
+		}
+	}
+}
+
+func rangesOverlap(a uint64, an int, b uint64, bn int) bool {
+	return a < b+uint64(bn) && b < a+uint64(an)
+}

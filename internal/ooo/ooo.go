@@ -1,0 +1,393 @@
+// Package ooo implements the out-of-order baseline core: fetch along the
+// predicted path, register renaming over a reorder buffer, a bounded
+// issue window, a load/store queue with store-to-load forwarding and
+// (optionally) speculative memory disambiguation with violation squash,
+// and in-order commit. This is the "larger, higher-powered out-of-order
+// core" the SST paper compares against; it embodies exactly the
+// structures SST claims to eliminate (rename logic, reorder buffer,
+// disambiguation buffer, large issue window).
+package ooo
+
+import (
+	"rocksim/internal/cpu"
+	"rocksim/internal/isa"
+	"rocksim/internal/mem"
+)
+
+// Config parameterizes the out-of-order core.
+type Config struct {
+	FetchWidth  int
+	IssueWidth  int
+	CommitWidth int
+	ROBSize     int
+	IQSize      int // issue-window: oldest unissued instructions considered
+	LSQSize     int // maximum memory operations in flight in the ROB
+	// SpecLoads lets loads issue past older stores with unknown
+	// addresses; a later conflicting store squashes and refetches.
+	SpecLoads bool
+	// TakenPenalty is the fetch bubble for predicted-taken control flow.
+	TakenPenalty uint64
+	// MispredictPenalty is the redirect bubble after a branch resolves
+	// against its prediction (models pipeline refill depth).
+	MispredictPenalty uint64
+}
+
+// SmallConfig returns a modest 2-wide out-of-order core.
+func SmallConfig() Config {
+	return Config{
+		FetchWidth: 2, IssueWidth: 2, CommitWidth: 2,
+		ROBSize: 32, IQSize: 16, LSQSize: 16,
+		SpecLoads:    true,
+		TakenPenalty: 1, MispredictPenalty: 10,
+	}
+}
+
+// LargeConfig returns an aggressive 4-wide out-of-order core — the
+// paper's larger, higher-powered comparison point.
+func LargeConfig() Config {
+	return Config{
+		FetchWidth: 4, IssueWidth: 4, CommitWidth: 4,
+		ROBSize: 128, IQSize: 64, LSQSize: 64,
+		SpecLoads:    true,
+		TakenPenalty: 1, MispredictPenalty: 14,
+	}
+}
+
+// Stats extends the common statistics with out-of-order events.
+type Stats struct {
+	cpu.BaseStats
+	Squashes           uint64 // control mispredict squashes
+	MemOrderViolations uint64 // disambiguation squashes
+	WrongPathInsts     uint64 // fetched then squashed
+	ROBFullCycles      uint64
+	FetchStallCycles   uint64
+	EmptyIssueCycles   uint64 // cycles with nothing ready to issue
+}
+
+type source struct {
+	reg    uint8
+	tag    uint64 // producing seq, valid when hasTag
+	hasTag bool
+}
+
+type robEntry struct {
+	seq uint64
+	in  isa.Inst
+	pc  uint64
+
+	src  [3]source
+	nsrc int
+
+	issued   bool
+	executed bool   // result value computed
+	readyAt  uint64 // cycle the result is usable / entry committable
+	value    int64  // destination value
+
+	// Memory state.
+	addrValid bool
+	addr      uint64
+	msize     int
+	storeVal  int64
+
+	// Control prediction made at fetch.
+	predTaken  bool
+	predTarget uint64
+	hasPredTgt bool
+}
+
+// Core is the out-of-order pipeline model.
+type Core struct {
+	cfg Config
+	m   *cpu.Machine
+	fe  *cpu.Frontend
+
+	regs   [isa.NumRegs]int64 // committed architectural state
+	regTag [isa.NumRegs]uint64
+	tagOK  [isa.NumRegs]bool
+
+	rob     []robEntry // ring buffer
+	head    int
+	count   int
+	headSeq uint64 // seq of rob[head]
+	nextSeq uint64
+	memOps  int // loads+stores currently in the ROB
+
+	// Fetch blocking conditions.
+	fetchBlockedSeq uint64 // waiting for this jalr to resolve
+	fetchBlocked    bool
+	fetchGarbage    bool // decode failed on (presumed) wrong path
+	haltFetched     bool
+
+	cycle uint64
+	done  bool
+	err   error
+
+	stats Stats
+}
+
+// New creates an out-of-order core executing from entry.
+func New(m *cpu.Machine, cfg Config, entry uint64) *Core {
+	if cfg.FetchWidth < 1 {
+		cfg.FetchWidth = 1
+	}
+	if cfg.IssueWidth < 1 {
+		cfg.IssueWidth = 1
+	}
+	if cfg.CommitWidth < 1 {
+		cfg.CommitWidth = 1
+	}
+	if cfg.ROBSize < 2 {
+		cfg.ROBSize = 2
+	}
+	if cfg.IQSize < 1 {
+		cfg.IQSize = 1
+	}
+	if cfg.LSQSize < 1 {
+		cfg.LSQSize = 1
+	}
+	return &Core{
+		cfg: cfg,
+		m:   m,
+		fe:  cpu.NewFrontend(m, entry),
+		rob: make([]robEntry, cfg.ROBSize),
+	}
+}
+
+// Cycle returns the current cycle.
+func (c *Core) Cycle() uint64 { return c.cycle }
+
+// Done reports whether the program has halted.
+func (c *Core) Done() bool { return c.done }
+
+// Retired returns committed instructions.
+func (c *Core) Retired() uint64 { return c.stats.Retired }
+
+// Base returns the common statistics block.
+func (c *Core) Base() *cpu.BaseStats { return &c.stats.BaseStats }
+
+// Stats returns the full out-of-order statistics.
+func (c *Core) Stats() *Stats { return &c.stats }
+
+// Err returns a fatal simulation error, if any.
+func (c *Core) Err() error { return c.err }
+
+// Regs returns the committed register file (for test validation).
+func (c *Core) Regs() [isa.NumRegs]int64 { return c.regs }
+
+func (c *Core) at(i int) *robEntry { return &c.rob[(c.head+i)%len(c.rob)] }
+
+// entryBySeq returns the ROB entry with the given seq, or nil if it has
+// already committed or been squashed.
+func (c *Core) entryBySeq(seq uint64) *robEntry {
+	if seq < c.headSeq {
+		return nil
+	}
+	i := int(seq - c.headSeq)
+	if i >= c.count {
+		return nil
+	}
+	return c.at(i)
+}
+
+// Step advances the core one cycle: commit, issue/execute, fetch.
+func (c *Core) Step() {
+	now := c.cycle
+	c.commit(now)
+	if !c.done && c.err == nil {
+		c.issue(now)
+		c.fetch(now)
+	}
+	c.stats.SampleMLP(c.m.Hier.OutstandingDataMisses(c.m.CoreID, now))
+	c.stats.Cycles++
+	c.cycle++
+}
+
+// fetch brings up to FetchWidth instructions into the ROB along the
+// predicted path.
+func (c *Core) fetch(now uint64) {
+	for n := 0; n < c.cfg.FetchWidth; n++ {
+		if c.fetchBlocked || c.fetchGarbage || c.haltFetched {
+			return
+		}
+		if c.count >= c.cfg.ROBSize {
+			c.stats.ROBFullCycles++
+			return
+		}
+		if c.fe.Stalled(now) {
+			return
+		}
+		in, pc, ok, err := c.fe.Next(now)
+		if err != nil {
+			// Decode failure: assume wrong-path garbage and wait for a
+			// squash to redirect fetch. A genuine illegal instruction
+			// surfaces as a cycle-limit error in the harness.
+			c.fetchGarbage = true
+			return
+		}
+		if !ok {
+			c.stats.FetchStallCycles++
+			return
+		}
+		if in.Op.IsMem() && c.memOps >= c.cfg.LSQSize {
+			return
+		}
+
+		e := robEntry{seq: c.nextSeq, in: in, pc: pc}
+		c.captureSources(&e)
+		redirected := false
+
+		switch in.Op.Class() {
+		case isa.ClassBranch:
+			e.predTaken = c.m.Pred.PredictDir(pc)
+			if e.predTaken {
+				c.fe.Redirect(in.BranchTarget(pc), now, c.cfg.TakenPenalty)
+				redirected = true
+			}
+		case isa.ClassJump:
+			if in.Op == isa.OpJal {
+				if in.Rd == isa.RegRA {
+					c.m.Pred.PushReturn(pc + isa.InstSize)
+				}
+				c.fe.Redirect(in.BranchTarget(pc), now, c.cfg.TakenPenalty)
+				redirected = true
+			} else {
+				var tgt uint64
+				var have bool
+				if in.Rd == isa.RegZero && in.Rs1 == isa.RegRA {
+					tgt, have = c.m.Pred.PopReturn()
+				} else {
+					tgt, have = c.m.Pred.PredictTarget(pc)
+				}
+				if in.Rd == isa.RegRA {
+					c.m.Pred.PushReturn(pc + isa.InstSize)
+				}
+				if have {
+					e.predTarget, e.hasPredTgt = tgt, true
+					c.fe.Redirect(tgt, now, c.cfg.TakenPenalty)
+					redirected = true
+				} else {
+					// No target prediction: block fetch until it resolves.
+					c.fetchBlocked = true
+					c.fetchBlockedSeq = e.seq
+				}
+			}
+		case isa.ClassHalt:
+			c.haltFetched = true
+		}
+
+		// Rename: record this entry as the latest producer.
+		if rd, has := in.DestReg(); has {
+			c.regTag[rd] = e.seq
+			c.tagOK[rd] = true
+		}
+		if in.Op.IsMem() {
+			c.memOps++
+		}
+		c.push(e)
+		if !redirected {
+			c.fe.Advance()
+		}
+		if redirected {
+			return // redirect consumes the rest of the fetch group
+		}
+	}
+}
+
+// captureSources records, per source register, either a dependence tag
+// on an in-flight producer or the fact that the committed register file
+// will hold the value.
+func (c *Core) captureSources(e *robEntry) {
+	srcs, n := e.in.SrcRegs()
+	e.nsrc = n
+	for i := 0; i < n; i++ {
+		r := srcs[i]
+		e.src[i] = source{reg: r}
+		if r != isa.RegZero && c.tagOK[r] {
+			e.src[i].tag = c.regTag[r]
+			e.src[i].hasTag = true
+		}
+	}
+}
+
+func (c *Core) push(e robEntry) {
+	c.rob[(c.head+c.count)%len(c.rob)] = e
+	c.count++
+	c.nextSeq++
+}
+
+// commit retires up to CommitWidth completed instructions from the head.
+func (c *Core) commit(now uint64) {
+	for n := 0; n < c.cfg.CommitWidth && c.count > 0; n++ {
+		e := c.at(0)
+		if !e.executed || e.readyAt > now {
+			return
+		}
+		in := e.in
+		if rd, has := in.DestReg(); has {
+			c.regs[rd] = e.value
+			if c.tagOK[rd] && c.regTag[rd] == e.seq {
+				c.tagOK[rd] = false
+			}
+		}
+		switch in.Op.Class() {
+		case isa.ClassStore:
+			c.m.Mem.Write(e.addr, e.msize, uint64(e.storeVal))
+			c.m.Hier.Access(c.m.CoreID, mem.AccWrite, e.addr, now)
+			c.m.StoreVisible(e.addr)
+			c.stats.Stores++
+		case isa.ClassAtomic:
+			// The memory side already executed at issue (head-only).
+			c.stats.Stores++
+		case isa.ClassHalt:
+			c.done = true
+		}
+		c.stats.Retired++
+		if in.Op.IsMem() {
+			c.memOps--
+		}
+		c.head = (c.head + 1) % len(c.rob)
+		c.count--
+		c.headSeq++
+		if c.done {
+			return
+		}
+	}
+}
+
+// squashAfter removes every entry younger than seq (exclusive: seq
+// survives) and redirects fetch to target with the given penalty.
+func (c *Core) squashAfter(seq uint64, target uint64, now, penalty uint64) {
+	keep := int(seq-c.headSeq) + 1
+	if keep < 0 {
+		keep = 0
+	}
+	for i := keep; i < c.count; i++ {
+		e := c.at(i)
+		if e.in.Op.IsMem() {
+			c.memOps--
+		}
+		c.stats.WrongPathInsts++
+	}
+	c.count = keep
+	c.nextSeq = c.headSeq + uint64(keep)
+	// Rebuild the rename map from surviving entries.
+	for i := range c.tagOK {
+		c.tagOK[i] = false
+	}
+	for i := 0; i < c.count; i++ {
+		e := c.at(i)
+		if rd, has := e.in.DestReg(); has {
+			c.regTag[rd] = e.seq
+			c.tagOK[rd] = true
+		}
+	}
+	c.fetchBlocked = false
+	c.fetchGarbage = false
+	c.haltFetched = false
+	for i := 0; i < c.count; i++ {
+		if c.at(i).in.Op.Class() == isa.ClassHalt {
+			c.haltFetched = true
+		}
+	}
+	c.fe.Redirect(target, now, penalty)
+}

@@ -1,0 +1,48 @@
+package sim
+
+import (
+	"testing"
+
+	"rocksim/internal/core"
+	"rocksim/internal/cpu"
+	"rocksim/internal/mem"
+)
+
+// TestDebugSSTArith is a scaffolding test used while bringing up the SST
+// core; it dumps machine state if the core fails to finish quickly.
+func TestDebugSSTArith(t *testing.T) {
+	prog := mustAssemble(t, `
+		.org 0x10000
+		movi r5, 1000
+		movi r6, 0
+		movi r7, 3
+	loop:
+		add  r6, r6, r5
+		mul  r8, r5, r7
+		xor  r6, r6, r8
+		addi r5, r5, -1
+		bne  r5, zero, loop
+		halt
+	`)
+	m := mem.NewSparse()
+	prog.Load(m)
+	opts := DefaultOptions()
+	mach, err := cpu.NewMachine(m, opts.Hier, opts.Pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := core.New(mach, opts.SST, prog.Entry)
+	for i := 0; i < 100000 && !c.Done(); i++ {
+		c.Step()
+		if c.Err() != nil {
+			t.Fatalf("err: %v", c.Err())
+		}
+	}
+	if !c.Done() {
+		st := c.Stats()
+		t.Fatalf("not done after 100k cycles: mode=%v retired=%d processed-stats: defer=%d replay=%d pend=%d ckpt=%d commits=%d rollbacks=%d scouts=%d dqocc-mean=%.1f modecycles=%v dump=%s",
+			c.Mode(), c.Retired(), st.Deferrals, st.Replays, st.PendingMisses,
+			st.CheckpointsTaken, st.EpochCommits, st.Rollbacks, st.ScoutEntries,
+			st.DQOcc.Mean(), st.ModeCycles, c.DebugDump())
+	}
+}

@@ -1,0 +1,299 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"rocksim/internal/asm"
+	"rocksim/internal/isa"
+	"rocksim/internal/mem"
+)
+
+// progGen generates random but guaranteed-terminating RK64 programs:
+// straight-line arithmetic, guarded loads/stores into a data window,
+// counted loops, if/else diamonds, leaf calls, and occasional atomics.
+// Every generated program is run on the golden emulator and on every
+// core model; architectural state must match exactly. This one property
+// exercises NA propagation, deferred-queue replay ordering, store-buffer
+// bypass, checkpoint rollback, OOO renaming, squash and forwarding far
+// more broadly than directed tests can.
+type progGen struct {
+	r    *rand.Rand
+	b    *asm.Builder
+	n    int  // label counter
+	inTx bool // inside a transaction block: restrict statement kinds
+}
+
+const (
+	fuzzDataBase = 0x200000
+	fuzzDataSize = 1 << 16
+	regBase      = 28 // holds fuzzDataBase
+	regMask      = 29 // holds address mask
+	regScratch   = 30
+	regScratch2  = 31
+	loopReg0     = 20 // loop counters by depth: r20..r23
+	poolLo       = 4
+	poolHi       = 19
+)
+
+func (g *progGen) reg() uint8 {
+	return uint8(poolLo + g.r.Intn(poolHi-poolLo+1))
+}
+
+func (g *progGen) label(prefix string) string {
+	g.n++
+	return prefix + "_" + itoa(g.n)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// addr computes a legal aligned data address into regScratch from a
+// random pool register.
+func (g *progGen) addr() {
+	g.b.Op(isa.OpAnd, regScratch, g.reg(), regMask)
+	g.b.Op(isa.OpAdd, regScratch, regScratch, regBase)
+}
+
+var fuzzALUOps = []isa.Op{
+	isa.OpAdd, isa.OpSub, isa.OpAnd, isa.OpOr, isa.OpXor,
+	isa.OpSll, isa.OpSrl, isa.OpSra, isa.OpSlt, isa.OpSltu,
+	isa.OpMul, isa.OpMulh, isa.OpDiv, isa.OpDivu, isa.OpRem, isa.OpRemu,
+}
+
+var fuzzALUImmOps = []isa.Op{
+	isa.OpAddi, isa.OpAndi, isa.OpOri, isa.OpXori,
+	isa.OpSlli, isa.OpSrli, isa.OpSrai, isa.OpSlti, isa.OpSltui,
+}
+
+var fuzzLoads = []isa.Op{
+	isa.OpLd8, isa.OpLd16, isa.OpLd32, isa.OpLd64,
+	isa.OpLdu8, isa.OpLdu16, isa.OpLdu32,
+}
+
+var fuzzStores = []isa.Op{isa.OpSt8, isa.OpSt16, isa.OpSt32, isa.OpSt64}
+
+func (g *progGen) stmt(budget *int, depth int) {
+	if *budget <= 0 {
+		return
+	}
+	*budget--
+	switch k := g.r.Intn(20); {
+	case k < 7: // reg-reg ALU
+		g.b.Op(fuzzALUOps[g.r.Intn(len(fuzzALUOps))], g.reg(), g.reg(), g.reg())
+	case k < 10: // reg-imm ALU
+		op := fuzzALUImmOps[g.r.Intn(len(fuzzALUImmOps))]
+		imm := int32(g.r.Intn(4096) - 2048)
+		if op == isa.OpSlli || op == isa.OpSrli || op == isa.OpSrai {
+			imm = int32(g.r.Intn(64))
+		}
+		g.b.Opi(op, g.reg(), g.reg(), imm)
+	case k < 13: // load
+		g.addr()
+		g.b.Ld(fuzzLoads[g.r.Intn(len(fuzzLoads))], g.reg(), regScratch, 0)
+	case k < 15: // store
+		g.addr()
+		g.b.St(fuzzStores[g.r.Intn(len(fuzzStores))], g.reg(), regScratch, 0)
+	case k < 16 && depth < 3 && *budget > 6: // counted loop
+		iters := 1 + g.r.Intn(6)
+		cnt := uint8(loopReg0 + depth)
+		top := g.label("loop")
+		g.b.Movi(cnt, int32(iters))
+		g.b.Label(top)
+		inner := 2 + g.r.Intn(5)
+		if inner > *budget {
+			inner = *budget
+		}
+		for i := 0; i < inner; i++ {
+			g.stmt(budget, depth+1)
+		}
+		g.b.Opi(isa.OpAddi, cnt, cnt, -1)
+		g.b.Br(isa.OpBne, cnt, isa.RegZero, top)
+	case k < 18: // if/else diamond on data-dependent condition
+		els := g.label("else")
+		end := g.label("end")
+		g.b.Op(isa.OpSlt, regScratch2, g.reg(), g.reg())
+		g.b.Br(isa.OpBeq, regScratch2, isa.RegZero, els)
+		g.stmt(budget, depth)
+		g.b.Jmp(end)
+		g.b.Label(els)
+		g.stmt(budget, depth)
+		g.b.Label(end)
+	case k < 19: // atomic, barrier, or (outside loops) a transaction
+		if g.inTx {
+			g.b.Nop() // cas/membar abort transactions: keep them out
+			break
+		}
+		switch g.r.Intn(3) {
+		case 0:
+			g.addr()
+			g.b.Opi(isa.OpAndi, regScratch, regScratch, ^int32(7))
+			g.b.Cas(g.reg(), regScratch, g.reg())
+		case 1:
+			g.b.Emit(isa.Inst{Op: isa.OpMembar})
+		default:
+			// A short transaction of simple statements. Single-core
+			// with bounded reads/writes: it always commits, so flat
+			// cores (which execute it as plain code) agree.
+			skip := g.label("txskip")
+			g.b.TxBegin(regScratch2, skip)
+			g.inTx = true
+			for i := 0; i < 2+g.r.Intn(4); i++ {
+				g.stmt(budget, 3) // depth 3: no nested loops
+			}
+			g.inTx = false
+			g.b.TxCommit()
+			g.b.Label(skip)
+		}
+	default: // prefetch or nop
+		if g.r.Intn(2) == 0 {
+			g.addr()
+			g.b.Prefetch(regScratch, 0)
+		} else {
+			g.b.Nop()
+		}
+	}
+}
+
+// genProgram builds one random program with nstmt top-level statements.
+func genProgram(seed int64, nstmt int) (*asm.Program, error) {
+	g := &progGen{r: rand.New(rand.NewSource(seed)), b: asm.NewBuilder(asm.DefaultTextBase)}
+	b := g.b
+
+	b.SetEntry("main")
+
+	// Two leaf functions used by call sites.
+	for f := 0; f < 2; f++ {
+		b.Label("leaf" + itoa(f))
+		budget := 4 + g.r.Intn(6)
+		for budget > 0 {
+			g.stmt(&budget, 3) // depth 3: no nested loops inside leaves
+		}
+		b.Ret()
+	}
+
+	b.Label("main")
+	b.MovImm64(regBase, regScratch, fuzzDataBase)
+	b.Movi(regMask, fuzzDataSize-8)
+	// Seed the pool registers deterministically.
+	for r := poolLo; r <= poolHi; r++ {
+		b.Movi(uint8(r), int32(g.r.Uint32()))
+	}
+	budget := nstmt
+	for budget > 0 {
+		if g.r.Intn(12) == 0 {
+			b.Call("leaf" + itoa(g.r.Intn(2)))
+			budget--
+			continue
+		}
+		g.stmt(&budget, 0)
+	}
+	b.Halt()
+
+	// Random initial data image.
+	data := make([]byte, fuzzDataSize)
+	g.r.Read(data)
+	b.Data(fuzzDataBase, data)
+	return b.Finish()
+}
+
+// runFuzzSeed checks golden-model equivalence for one random program.
+func runFuzzSeed(t *testing.T, seed int64, nstmt int) {
+	t.Helper()
+	prog, err := genProgram(seed, nstmt)
+	if err != nil {
+		t.Fatalf("seed %d: generate: %v", seed, err)
+	}
+	emu, goldMem, err := RunEmulator(prog, 50_000_000)
+	if err != nil {
+		t.Fatalf("seed %d: emulator: %v", seed, err)
+	}
+	opts := DefaultOptions()
+	opts.MaxCycles = 500_000_000
+	for _, k := range Kinds {
+		out, err := Run(k, prog, opts)
+		if err != nil {
+			t.Fatalf("seed %d: %v: %v", seed, k, err)
+		}
+		if out.Retired != emu.Executed {
+			t.Errorf("seed %d: %v retired %d, golden %d", seed, k, out.Retired, emu.Executed)
+		}
+		bad := false
+		for r := 1; r < isa.NumRegs; r++ {
+			if out.Regs[r] != emu.Reg[r] {
+				t.Errorf("seed %d: %v r%d=%#x golden %#x", seed, k, r, uint64(out.Regs[r]), uint64(emu.Reg[r]))
+				bad = true
+			}
+		}
+		if !out.Mem.Equal(goldMem) {
+			t.Errorf("seed %d: %v memory mismatch at %#x...", seed, k, out.Mem.Diff(goldMem, 4))
+			bad = true
+		}
+		if bad {
+			t.FailNow()
+		}
+	}
+}
+
+// TestFuzzEquivalenceQuick runs a batch of random programs on every core
+// model and checks them against the golden functional model.
+func TestFuzzEquivalenceQuick(t *testing.T) {
+	n := 60
+	if testing.Short() {
+		n = 12
+	}
+	for seed := int64(1); seed <= int64(n); seed++ {
+		runFuzzSeed(t, seed, 80)
+	}
+}
+
+// TestFuzzEquivalenceDeep runs fewer but much larger random programs.
+func TestFuzzEquivalenceDeep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for seed := int64(1000); seed < 1010; seed++ {
+		runFuzzSeed(t, seed, 600)
+	}
+}
+
+// TestFuzzSmallCaches repeats the fuzz check on a tiny hierarchy so that
+// capacity misses, evictions and writebacks happen constantly.
+func TestFuzzSmallCaches(t *testing.T) {
+	prog, err := genProgram(42, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emu, goldMem, err := RunEmulator(prog, 50_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.Hier.L1D = mem.CacheConfig{Name: "L1D", SizeBytes: 1 << 10, Ways: 2, LineBytes: 64, HitLatency: 2, MSHRs: 4}
+	opts.Hier.L1I = mem.CacheConfig{Name: "L1I", SizeBytes: 1 << 10, Ways: 2, LineBytes: 64, HitLatency: 1, MSHRs: 2}
+	opts.Hier.L2 = mem.CacheConfig{Name: "L2", SizeBytes: 8 << 10, Ways: 4, LineBytes: 64, HitLatency: 12, MSHRs: 8}
+	opts.MaxCycles = 500_000_000
+	for _, k := range Kinds {
+		out, err := Run(k, prog, opts)
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if out.Retired != emu.Executed {
+			t.Errorf("%v: retired %d, golden %d", k, out.Retired, emu.Executed)
+		}
+		if !out.Mem.Equal(goldMem) {
+			t.Errorf("%v: memory mismatch", k)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package sim
+
+import (
+	"encoding/json"
+	"io"
+
+	"rocksim/internal/core"
+	"rocksim/internal/inorder"
+	"rocksim/internal/ooo"
+)
+
+// Report is the machine-readable summary of one run, for downstream
+// tooling (plotting, regression tracking, spreadsheets).
+type Report struct {
+	Kind    string  `json:"kind"`
+	Cycles  uint64  `json:"cycles"`
+	Retired uint64  `json:"retired"`
+	IPC     float64 `json:"ipc"`
+	MLP     float64 `json:"mlp"`
+
+	Loads         uint64  `json:"loads"`
+	Stores        uint64  `json:"stores"`
+	Branches      uint64  `json:"branches"`
+	BranchMispred uint64  `json:"branch_mispredicts"`
+	LoadL1Pct     float64 `json:"load_l1_pct"`
+	LoadL2Pct     float64 `json:"load_l2_pct"`
+	LoadMemPct    float64 `json:"load_mem_pct"`
+
+	Caches CacheReport `json:"caches"`
+
+	SST     *SSTReport     `json:"sst,omitempty"`
+	OOO     *OOOReport     `json:"ooo,omitempty"`
+	InOrder *InOrderReport `json:"inorder,omitempty"`
+}
+
+// CacheReport summarizes hierarchy behaviour.
+type CacheReport struct {
+	L1DMissPct float64 `json:"l1d_miss_pct"`
+	L1IMissPct float64 `json:"l1i_miss_pct"`
+	L2MissPct  float64 `json:"l2_miss_pct"`
+	DRAMReads  uint64  `json:"dram_reads"`
+	DRAMWrites uint64  `json:"dram_writes"`
+	Prefetches uint64  `json:"prefetches"`
+}
+
+// SSTReport carries the SST-specific counters.
+type SSTReport struct {
+	Checkpoints      uint64             `json:"checkpoints"`
+	EpochCommits     uint64             `json:"epoch_commits"`
+	Rollbacks        uint64             `json:"rollbacks"`
+	RollbacksByCause map[string]uint64  `json:"rollbacks_by_cause"`
+	Deferrals        uint64             `json:"deferrals"`
+	Replays          uint64             `json:"replays"`
+	DeferredBranches uint64             `json:"deferred_branches"`
+	DiscardedInsts   uint64             `json:"discarded_insts"`
+	ScoutEntries     uint64             `json:"scout_entries"`
+	ModeCyclesPct    map[string]float64 `json:"mode_cycles_pct"`
+	DQOccMean        float64            `json:"dq_occupancy_mean"`
+	SSBOccMean       float64            `json:"ssb_occupancy_mean"`
+	TxBegins         uint64             `json:"tx_begins,omitempty"`
+	TxCommits        uint64             `json:"tx_commits,omitempty"`
+	TxAborts         uint64             `json:"tx_aborts,omitempty"`
+}
+
+// OOOReport carries the out-of-order counters.
+type OOOReport struct {
+	Squashes           uint64 `json:"squashes"`
+	MemOrderViolations uint64 `json:"memorder_violations"`
+	WrongPathInsts     uint64 `json:"wrong_path_insts"`
+	ROBFullCycles      uint64 `json:"rob_full_cycles"`
+}
+
+// InOrderReport carries the in-order stall breakdown.
+type InOrderReport struct {
+	StallFetch    uint64 `json:"stall_fetch"`
+	StallRedirect uint64 `json:"stall_redirect"`
+	StallData     uint64 `json:"stall_data"`
+	StallLoads    uint64 `json:"stall_load_limit"`
+	StallStores   uint64 `json:"stall_store_buffer"`
+}
+
+func pct(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}
+
+// NewReport builds the machine-readable summary of a finished run.
+func NewReport(out Outcome) Report {
+	b := out.Core.Base()
+	h := out.Mach.Hier
+	r := Report{
+		Kind:          out.Kind.String(),
+		Cycles:        out.Cycles,
+		Retired:       out.Retired,
+		IPC:           out.IPC(),
+		MLP:           b.MLP(),
+		Loads:         b.Loads,
+		Stores:        b.Stores,
+		Branches:      b.Branches,
+		BranchMispred: b.BranchMispred,
+		LoadL1Pct:     pct(b.LoadL1Hits, b.Loads),
+		LoadL2Pct:     pct(b.LoadL2Hits, b.Loads),
+		LoadMemPct:    pct(b.LoadMemHits, b.Loads),
+		Caches: CacheReport{
+			L1DMissPct: 100 * h.L1D(out.Mach.CoreID).Stats.MissRate(),
+			L1IMissPct: 100 * h.L1I(out.Mach.CoreID).Stats.MissRate(),
+			L2MissPct:  100 * h.L2().Stats.MissRate(),
+			DRAMReads:  h.DRAM().Stats.Reads,
+			DRAMWrites: h.DRAM().Stats.Writes,
+			Prefetches: h.Stats.Prefetches,
+		},
+	}
+	switch c := out.Core.(type) {
+	case *core.Core:
+		s := c.Stats()
+		byCause := map[string]uint64{}
+		for cause := core.RollbackCause(0); cause < core.NumRollbackCauses; cause++ {
+			if s.RollbacksBy[cause] > 0 {
+				byCause[cause.String()] = s.RollbacksBy[cause]
+			}
+		}
+		modes := map[string]float64{}
+		for k := core.CycleKind(0); k < core.NumCycleKinds; k++ {
+			if s.ModeCycles[k] > 0 {
+				modes[k.String()] = pct(s.ModeCycles[k], s.Cycles)
+			}
+		}
+		r.SST = &SSTReport{
+			Checkpoints:      s.CheckpointsTaken,
+			EpochCommits:     s.EpochCommits,
+			Rollbacks:        s.Rollbacks,
+			RollbacksByCause: byCause,
+			Deferrals:        s.Deferrals,
+			Replays:          s.Replays,
+			DeferredBranches: s.DeferredBranches,
+			DiscardedInsts:   s.DiscardedInsts,
+			ScoutEntries:     s.ScoutEntries,
+			ModeCyclesPct:    modes,
+			DQOccMean:        s.DQOcc.Mean(),
+			SSBOccMean:       s.SSBOcc.Mean(),
+			TxBegins:         s.Tx.Begins,
+			TxCommits:        s.Tx.Commits,
+			TxAborts:         s.Tx.Aborts,
+		}
+	case *ooo.Core:
+		s := c.Stats()
+		r.OOO = &OOOReport{
+			Squashes:           s.Squashes,
+			MemOrderViolations: s.MemOrderViolations,
+			WrongPathInsts:     s.WrongPathInsts,
+			ROBFullCycles:      s.ROBFullCycles,
+		}
+	case *inorder.Core:
+		s := c.Stats()
+		r.InOrder = &InOrderReport{
+			StallFetch:    s.StallCycles[inorder.StallFetch],
+			StallRedirect: s.StallCycles[inorder.StallRedirect],
+			StallData:     s.StallCycles[inorder.StallData],
+			StallLoads:    s.StallCycles[inorder.StallLoadLimit],
+			StallStores:   s.StallCycles[inorder.StallStoreBuffer],
+		}
+	}
+	return r
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

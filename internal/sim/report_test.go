@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"rocksim/internal/workload"
+)
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	w, err := workload.Build("oltp", workload.ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	for _, k := range []Kind{KindInOrder, KindOOOLarge, KindSST} {
+		out, err := Run(k, w.Program, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := NewReport(out)
+		if rep.Kind != k.String() || rep.Retired != out.Retired || rep.IPC <= 0 {
+			t.Errorf("%v: bad basics: %+v", k, rep)
+		}
+		var buf bytes.Buffer
+		if err := rep.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		var back Report
+		if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+			t.Fatalf("%v: unmarshal: %v", k, err)
+		}
+		if back.Cycles != rep.Cycles || back.Kind != rep.Kind {
+			t.Errorf("%v: round trip mismatch", k)
+		}
+		switch k {
+		case KindSST:
+			if back.SST == nil || back.SST.Checkpoints == 0 {
+				t.Errorf("sst section missing: %+v", back.SST)
+			}
+			if back.OOO != nil || back.InOrder != nil {
+				t.Error("wrong sections present for sst")
+			}
+		case KindOOOLarge:
+			if back.OOO == nil {
+				t.Error("ooo section missing")
+			}
+		case KindInOrder:
+			if back.InOrder == nil {
+				t.Error("inorder section missing")
+			}
+		}
+	}
+}
+
+func TestReportLoadLevelPercentagesSum(t *testing.T) {
+	w, err := workload.Build("randarr", workload.ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Run(KindSST, w.Program, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := NewReport(out)
+	sum := rep.LoadL1Pct + rep.LoadL2Pct + rep.LoadMemPct
+	if sum < 99.9 || sum > 100.1 {
+		t.Errorf("load level pcts sum to %f", sum)
+	}
+	if rep.Caches.DRAMReads == 0 {
+		t.Error("randarr produced no DRAM reads")
+	}
+}

@@ -1,0 +1,208 @@
+// Package sim ties a program image, a core model and a memory hierarchy
+// into a runnable simulation. It is the harness used by the command-line
+// tools, the examples, the experiments and the cross-model equivalence
+// tests.
+package sim
+
+import (
+	"fmt"
+
+	"rocksim/internal/asm"
+	"rocksim/internal/bpred"
+	"rocksim/internal/core"
+	"rocksim/internal/cpu"
+	"rocksim/internal/inorder"
+	"rocksim/internal/isa"
+	"rocksim/internal/mem"
+	"rocksim/internal/ooo"
+)
+
+// Kind selects a core model.
+type Kind int
+
+// Core model kinds.
+const (
+	KindInOrder Kind = iota
+	KindOOOSmall
+	KindOOOLarge
+	KindSST
+	KindSSTBig // "certain SST implementations": deeper DQ, more checkpoints
+	KindSSTEA  // execute-ahead ablation (no second strand)
+	KindScout  // hardware-scout ablation (no deferred queue)
+)
+
+// Kinds lists every core model, in presentation order.
+var Kinds = []Kind{KindInOrder, KindOOOSmall, KindOOOLarge, KindScout, KindSSTEA, KindSST, KindSSTBig}
+
+func (k Kind) String() string {
+	switch k {
+	case KindInOrder:
+		return "inorder"
+	case KindOOOSmall:
+		return "ooo-small"
+	case KindOOOLarge:
+		return "ooo-large"
+	case KindSST:
+		return "sst"
+	case KindSSTBig:
+		return "sst-big"
+	case KindSSTEA:
+		return "sst-ea"
+	case KindScout:
+		return "scout"
+	}
+	return "?"
+}
+
+// KindByName parses a core-kind name.
+func KindByName(s string) (Kind, error) {
+	for _, k := range Kinds {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("sim: unknown core kind %q", s)
+}
+
+// Options configures a simulation run.
+type Options struct {
+	Hier    mem.HierConfig
+	Pred    bpred.Config
+	InOrder inorder.Config
+	OOO     ooo.Config // used for KindOOOSmall unless overridden
+	OOOLg   ooo.Config
+	SST     core.Config
+	// MaxCycles bounds the run (0 = DefaultMaxCycles).
+	MaxCycles uint64
+	// Probe, when non-nil, is installed on SST-family cores for
+	// pipeline visualization (see core.PipeView).
+	Probe core.Probe
+}
+
+// DefaultMaxCycles bounds runaway simulations.
+const DefaultMaxCycles = 2_000_000_000
+
+// DefaultOptions returns the standard machine configurations used
+// throughout the reproduction (paper Table 1).
+func DefaultOptions() Options {
+	return Options{
+		Hier:    mem.DefaultHierConfig(),
+		Pred:    bpred.DefaultConfig(),
+		InOrder: inorder.DefaultConfig(),
+		OOO:     ooo.SmallConfig(),
+		OOOLg:   ooo.LargeConfig(),
+		SST:     core.DefaultConfig(),
+	}
+}
+
+// Outcome summarizes one finished run.
+type Outcome struct {
+	Kind    Kind
+	Cycles  uint64
+	Retired uint64
+	Core    cpu.Core // the core model, for detailed stats
+	Mach    *cpu.Machine
+	Mem     *mem.Sparse
+	Regs    [isa.NumRegs]int64
+}
+
+// IPC returns retired instructions per cycle.
+func (o Outcome) IPC() float64 {
+	if o.Cycles == 0 {
+		return 0
+	}
+	return float64(o.Retired) / float64(o.Cycles)
+}
+
+// NewCore builds a core of the given kind over machine m.
+func NewCore(k Kind, m *cpu.Machine, opts Options, entry uint64) cpu.Core {
+	c := newCore(k, m, opts, entry)
+	if sst, ok := c.(*core.Core); ok && opts.Probe != nil {
+		sst.SetProbe(opts.Probe)
+	}
+	return c
+}
+
+func newCore(k Kind, m *cpu.Machine, opts Options, entry uint64) cpu.Core {
+	switch k {
+	case KindInOrder:
+		return inorder.New(m, opts.InOrder, entry)
+	case KindOOOSmall:
+		return ooo.New(m, opts.OOO, entry)
+	case KindOOOLarge:
+		return ooo.New(m, opts.OOOLg, entry)
+	case KindSST:
+		return core.New(m, opts.SST, entry)
+	case KindSSTBig:
+		cfg := opts.SST
+		cfg.DQSize = 2 * opts.SST.DQSize
+		cfg.Checkpoints = 2 * opts.SST.Checkpoints
+		cfg.SSBSize = 2 * opts.SST.SSBSize
+		return core.New(m, cfg, entry)
+	case KindSSTEA:
+		cfg := opts.SST
+		cfg.SecondStrand = false
+		return core.New(m, cfg, entry)
+	case KindScout:
+		cfg := core.ScoutConfig()
+		cfg.Width = opts.SST.Width
+		cfg.TakenPenalty = opts.SST.TakenPenalty
+		cfg.MispredictPenalty = opts.SST.MispredictPenalty
+		cfg.RollbackPenalty = opts.SST.RollbackPenalty
+		return core.New(m, cfg, entry)
+	}
+	panic(fmt.Sprintf("sim: bad kind %d", k))
+}
+
+// Run loads the program into a fresh machine, executes it to completion
+// on the selected core model, and returns the outcome.
+func Run(k Kind, prog *asm.Program, opts Options) (Outcome, error) {
+	m := mem.NewSparse()
+	prog.Load(m)
+	mach, err := cpu.NewMachine(m, opts.Hier, opts.Pred)
+	if err != nil {
+		return Outcome{}, err
+	}
+	c := NewCore(k, mach, opts, prog.Entry)
+	limit := opts.MaxCycles
+	if limit == 0 {
+		limit = DefaultMaxCycles
+	}
+	if err := cpu.Run(c, limit); err != nil {
+		return Outcome{}, fmt.Errorf("sim: %v on %v: %w", k, prog.Entry, err)
+	}
+	out := Outcome{
+		Kind:    k,
+		Cycles:  c.Cycle(),
+		Retired: c.Retired(),
+		Core:    c,
+		Mach:    mach,
+		Mem:     m,
+	}
+	out.Regs = coreRegs(c)
+	return out, nil
+}
+
+func coreRegs(c cpu.Core) [isa.NumRegs]int64 {
+	switch cc := c.(type) {
+	case *inorder.Core:
+		return cc.Regs()
+	case *ooo.Core:
+		return cc.Regs()
+	case *core.Core:
+		return cc.Regs()
+	}
+	return [isa.NumRegs]int64{}
+}
+
+// RunEmulator executes the program on the golden functional model and
+// returns the final emulator state and memory image.
+func RunEmulator(prog *asm.Program, maxInsts uint64) (*isa.Emulator, *mem.Sparse, error) {
+	m := mem.NewSparse()
+	prog.Load(m)
+	e := isa.NewEmulator(prog.Entry, m)
+	if err := e.Run(maxInsts); err != nil {
+		return e, m, err
+	}
+	return e, m, nil
+}

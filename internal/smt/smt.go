@@ -1,0 +1,105 @@
+// Package smt models a ROCK core's *other* operating mode: instead of
+// devoting both hardware strands to one SST thread, the core runs two
+// independent threads with fine-grained multithreading (Niagara-style
+// cycle interleave). The two thread contexts share the physical core's
+// L1 caches and MSHRs (same hierarchy port) but have private
+// architectural state, functional memory and predictors.
+//
+// The experiment F12 uses this to reproduce ROCK's headline software
+// choice: two threads for throughput, or one SST thread for latency.
+package smt
+
+import (
+	"fmt"
+
+	"rocksim/internal/cpu"
+	"rocksim/internal/inorder"
+)
+
+// Thread is one hardware thread context of the SMT pair.
+type Thread struct {
+	Core *inorder.Core
+	Mach *cpu.Machine
+}
+
+// Core interleaves two in-order thread contexts cycle by cycle. When
+// one thread halts, the other receives every cycle (as real FG-MT
+// hardware does).
+type Core struct {
+	threads [2]Thread
+	cycle   uint64
+	err     error
+	agg     cpu.BaseStats
+}
+
+// New builds the SMT pair. Both machines must share the hierarchy and
+// core ID (they model one physical core).
+func New(a, b Thread) (*Core, error) {
+	if a.Mach.Hier != b.Mach.Hier || a.Mach.CoreID != b.Mach.CoreID {
+		return nil, fmt.Errorf("smt: threads must share one physical core's hierarchy port")
+	}
+	return &Core{threads: [2]Thread{a, b}}, nil
+}
+
+// Step advances the physical core one cycle: the issue slot belongs to
+// one thread, the other only ages.
+func (c *Core) Step() {
+	turn := int(c.cycle % 2)
+	t0, t1 := &c.threads[turn], &c.threads[1-turn]
+	switch {
+	case !t0.Core.Done():
+		t0.Core.Step()
+		if !t1.Core.Done() {
+			t1.Core.Tick()
+		}
+	case !t1.Core.Done():
+		t1.Core.Step()
+	}
+	for i := range c.threads {
+		if err := c.threads[i].Core.Err(); err != nil && c.err == nil {
+			c.err = fmt.Errorf("smt thread %d: %w", i, err)
+		}
+	}
+	c.cycle++
+}
+
+// Cycle returns the physical core's cycle count.
+func (c *Core) Cycle() uint64 { return c.cycle }
+
+// Done reports whether both threads have halted.
+func (c *Core) Done() bool {
+	return c.threads[0].Core.Done() && c.threads[1].Core.Done()
+}
+
+// Retired returns the aggregate retired instructions of both threads.
+func (c *Core) Retired() uint64 {
+	return c.threads[0].Core.Retired() + c.threads[1].Core.Retired()
+}
+
+// Err returns the first fatal error from either thread.
+func (c *Core) Err() error { return c.err }
+
+// Base returns an aggregate statistics block (summed across threads;
+// Cycles is the physical core's cycle count).
+func (c *Core) Base() *cpu.BaseStats {
+	a, b := c.threads[0].Core.Base(), c.threads[1].Core.Base()
+	c.agg = cpu.BaseStats{
+		Cycles:        c.cycle,
+		Retired:       a.Retired + b.Retired,
+		Loads:         a.Loads + b.Loads,
+		Stores:        a.Stores + b.Stores,
+		LoadL1Hits:    a.LoadL1Hits + b.LoadL1Hits,
+		LoadL2Hits:    a.LoadL2Hits + b.LoadL2Hits,
+		LoadMemHits:   a.LoadMemHits + b.LoadMemHits,
+		Branches:      a.Branches + b.Branches,
+		BranchMispred: a.BranchMispred + b.BranchMispred,
+		MLPSamples:    a.MLPSamples + b.MLPSamples,
+		MLPSum:        a.MLPSum + b.MLPSum,
+	}
+	return &c.agg
+}
+
+// Thread returns one thread context (for per-thread statistics).
+func (c *Core) Thread(i int) Thread { return c.threads[i] }
+
+var _ cpu.Core = (*Core)(nil)

@@ -1,0 +1,137 @@
+package smt
+
+import (
+	"testing"
+
+	"rocksim/internal/asm"
+	"rocksim/internal/bpred"
+	"rocksim/internal/cpu"
+	"rocksim/internal/inorder"
+	"rocksim/internal/isa"
+	"rocksim/internal/mem"
+)
+
+func thread(t *testing.T, hier *mem.Hierarchy, prog *asm.Program) Thread {
+	t.Helper()
+	m := mem.NewSparse()
+	prog.Load(m)
+	mach := &cpu.Machine{Mem: m, Hier: hier, CoreID: 0, Pred: bpred.New(bpred.DefaultConfig())}
+	return Thread{Core: inorder.New(mach, inorder.DefaultConfig(), prog.Entry), Mach: mach}
+}
+
+func countProg(t *testing.T, n int32, resultAddr int32) *asm.Program {
+	t.Helper()
+	b := asm.NewBuilder(asm.DefaultTextBase)
+	b.Movi(5, n)
+	b.Movi(6, 0)
+	b.Label("loop")
+	b.Op(isa.OpAdd, 6, 6, 5)
+	b.Opi(isa.OpAddi, 5, 5, -1)
+	b.Br(isa.OpBne, 5, isa.RegZero, "loop")
+	b.St(isa.OpSt64, 6, isa.RegZero, resultAddr)
+	b.Halt()
+	p, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSMTBothThreadsComplete(t *testing.T) {
+	hier, err := mem.NewHierarchy(mem.DefaultHierConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := thread(t, hier, countProg(t, 100, 0x100))
+	b := thread(t, hier, countProg(t, 50, 0x200))
+	c, err := New(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cpu.Run(c, 10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Mach.Mem.Read(0x100, 8); got != 5050 {
+		t.Errorf("thread A result = %d", got)
+	}
+	if got := b.Mach.Mem.Read(0x200, 8); got != 1275 {
+		t.Errorf("thread B result = %d", got)
+	}
+	if c.Retired() != a.Core.Retired()+b.Core.Retired() {
+		t.Error("aggregate retired mismatch")
+	}
+	if c.Base().Retired != c.Retired() {
+		t.Error("Base aggregate mismatch")
+	}
+}
+
+func TestSMTInterleavingSlowsThreads(t *testing.T) {
+	// A thread sharing the core must be slower than running alone, but
+	// the pair's total time must be far less than 2x serial (the whole
+	// point of multithreading a stalling pipeline).
+	mk := func() (*mem.Hierarchy, *asm.Program) {
+		hier, err := mem.NewHierarchy(mem.DefaultHierConfig(), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return hier, countProg(t, 2000, 0x100)
+	}
+	hier, prog := mk()
+	solo := thread(t, hier, prog)
+	if err := cpu.Run(solo.Core, 10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	soloCycles := solo.Core.Cycle()
+
+	hier2, prog2 := mk()
+	a := thread(t, hier2, prog2)
+	b := thread(t, hier2, countProg(t, 2000, 0x200))
+	c, err := New(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cpu.Run(c, 10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if c.Cycle() <= soloCycles {
+		t.Errorf("pair (%d cyc) not slower than solo (%d cyc)", c.Cycle(), soloCycles)
+	}
+	if c.Cycle() >= 2*soloCycles+1000 {
+		t.Errorf("pair (%d cyc) no better than serial 2x (%d cyc)", c.Cycle(), 2*soloCycles)
+	}
+}
+
+func TestSMTRejectsMismatchedPorts(t *testing.T) {
+	hier, err := mem.NewHierarchy(mem.DefaultHierConfig(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := countProg(t, 5, 0x100)
+	a := thread(t, hier, p)
+	bm := mem.NewSparse()
+	p.Load(bm)
+	machB := &cpu.Machine{Mem: bm, Hier: hier, CoreID: 1, Pred: bpred.New(bpred.DefaultConfig())}
+	b := Thread{Core: inorder.New(machB, inorder.DefaultConfig(), p.Entry), Mach: machB}
+	if _, err := New(a, b); err == nil {
+		t.Error("accepted threads on different physical cores")
+	}
+}
+
+func TestSMTOneThreadFinishesFirst(t *testing.T) {
+	hier, err := mem.NewHierarchy(mem.DefaultHierConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := thread(t, hier, countProg(t, 5, 0x100))    // tiny
+	b := thread(t, hier, countProg(t, 5000, 0x200)) // long
+	c, err := New(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cpu.Run(c, 10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Mach.Mem.Read(0x200, 8); got != 5000*5001/2 {
+		t.Errorf("long thread result = %d", got)
+	}
+}

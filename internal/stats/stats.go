@@ -1,0 +1,197 @@
+// Package stats provides the counters, histograms and table formatting
+// used by the core models and the experiment harness.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Hist is a histogram over small non-negative integer values (queue
+// occupancies, burst lengths). Values beyond the configured maximum are
+// clamped into the overflow bucket.
+type Hist struct {
+	buckets []uint64
+	n       uint64
+	sum     uint64
+	max     int // largest observed value (pre-clamp)
+}
+
+// NewHist returns a histogram tracking values 0..limit (limit clamps).
+func NewHist(limit int) *Hist {
+	if limit < 1 {
+		limit = 1
+	}
+	return &Hist{buckets: make([]uint64, limit+1)}
+}
+
+// Add records one observation.
+func (h *Hist) Add(v int) {
+	if v < 0 {
+		v = 0
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.sum += uint64(v)
+	h.n++
+	if v >= len(h.buckets) {
+		v = len(h.buckets) - 1
+	}
+	h.buckets[v]++
+}
+
+// Count returns the number of observations.
+func (h *Hist) Count() uint64 { return h.n }
+
+// Mean returns the average observation (0 with no samples).
+func (h *Hist) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// Max returns the largest observed value.
+func (h *Hist) Max() int { return h.max }
+
+// Quantile returns the smallest bucket value v such that at least
+// q (0..1) of observations are <= v.
+func (h *Hist) Quantile(q float64) int {
+	if h.n == 0 {
+		return 0
+	}
+	target := uint64(q * float64(h.n))
+	if target >= h.n {
+		target = h.n - 1
+	}
+	var cum uint64
+	for v, c := range h.buckets {
+		cum += c
+		if cum > target {
+			return v
+		}
+	}
+	return len(h.buckets) - 1
+}
+
+// Table accumulates rows for aligned text output: the shape in which the
+// experiment harness prints each reproduced paper table/figure.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// NumRows returns the number of data rows added.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Rows returns the formatted cells (for tests).
+func (t *Table) Rows() [][]string { return t.rows }
+
+// Fprint writes the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "== %s ==\n", t.Title)
+	}
+	line := func(cells []string) {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i] - len(c)
+			}
+			b.WriteString(c)
+			if i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		fmt.Fprintln(w, b.String())
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+}
+
+// Ratio returns a/b, or 0 when b is zero.
+func Ratio(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// Pct returns 100*a/b, or 0 when b is zero.
+func Pct(a, b uint64) float64 { return 100 * Ratio(a, b) }
+
+// GeoMean returns the geometric mean of positive values; zero or
+// negative entries are skipped.
+func GeoMean(vs []float64) float64 {
+	sum := 0.0
+	n := 0
+	for _, v := range vs {
+		if v > 0 {
+			sum += math.Log(v)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// SortedKeys returns the map's keys in sorted order (for deterministic
+// iteration when printing).
+func SortedKeys[M ~map[string]V, V any](m M) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistBasics(t *testing.T) {
+	h := NewHist(8)
+	for _, v := range []int{0, 1, 1, 2, 3, 20, -5} {
+		h.Add(v)
+	}
+	if h.Count() != 7 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if h.Max() != 20 {
+		t.Errorf("max = %d", h.Max())
+	}
+	want := float64(0+1+1+2+3+20+0) / 7
+	if math.Abs(h.Mean()-want) > 1e-9 {
+		t.Errorf("mean = %f, want %f", h.Mean(), want)
+	}
+}
+
+func TestHistQuantile(t *testing.T) {
+	h := NewHist(100)
+	for v := 1; v <= 100; v++ {
+		h.Add(v)
+	}
+	if q := h.Quantile(0.5); q < 49 || q > 52 {
+		t.Errorf("p50 = %d", q)
+	}
+	if q := h.Quantile(0.99); q < 98 {
+		t.Errorf("p99 = %d", q)
+	}
+	if q := h.Quantile(0); q != 1 {
+		t.Errorf("p0 = %d", q)
+	}
+	empty := NewHist(4)
+	if empty.Quantile(0.5) != 0 || empty.Mean() != 0 {
+		t.Error("empty hist not zero")
+	}
+}
+
+// TestHistMeanProperty: the histogram mean matches a direct average for
+// any in-range sample set.
+func TestHistMeanProperty(t *testing.T) {
+	f := func(vals []uint8) bool {
+		h := NewHist(255)
+		sum := 0
+		for _, v := range vals {
+			h.Add(int(v))
+			sum += int(v)
+		}
+		if len(vals) == 0 {
+			return h.Mean() == 0
+		}
+		return math.Abs(h.Mean()-float64(sum)/float64(len(vals))) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tbl := NewTable("demo", "name", "value")
+	tbl.AddRow("alpha", 1.5)
+	tbl.AddRow("b", 123456)
+	var sb strings.Builder
+	tbl.Fprint(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "1.500") {
+		t.Errorf("missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Errorf("line count = %d:\n%s", len(lines), out)
+	}
+	if tbl.NumRows() != 2 || len(tbl.Rows()) != 2 {
+		t.Error("row accessors wrong")
+	}
+}
+
+func TestRatioPct(t *testing.T) {
+	if Ratio(1, 0) != 0 || Pct(1, 0) != 0 {
+		t.Error("division by zero not guarded")
+	}
+	if Ratio(1, 4) != 0.25 || Pct(1, 4) != 25 {
+		t.Error("ratio wrong")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{2, 8}); math.Abs(g-4) > 1e-9 {
+		t.Errorf("geomean = %f", g)
+	}
+	if g := GeoMean([]float64{1, 1, 1}); math.Abs(g-1) > 1e-9 {
+		t.Errorf("geomean = %f", g)
+	}
+	// Zeros and negatives are skipped.
+	if g := GeoMean([]float64{0, -3, 9}); math.Abs(g-9) > 1e-9 {
+		t.Errorf("geomean = %f", g)
+	}
+	if GeoMean(nil) != 0 {
+		t.Error("empty geomean")
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	ks := SortedKeys(m)
+	if len(ks) != 3 || ks[0] != "a" || ks[2] != "c" {
+		t.Errorf("keys = %v", ks)
+	}
+}

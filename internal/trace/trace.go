@@ -1,0 +1,222 @@
+// Package trace records and replays executed-instruction traces. Traces
+// are produced from the golden emulator (cmd/rkrun -trace) and are used
+// for debugging core models, for workload characterization (paper
+// Table 2), and as a compact interchange format.
+//
+// The binary format is a sequence of little-endian records:
+//
+//	magic   "RKTR" u32, version u32            (file header)
+//	pc      u64
+//	word    u64   (the encoded instruction)
+//	addr    u64   (effective address for memory ops, else 0)
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"rocksim/internal/isa"
+)
+
+const (
+	magic   = 0x52544b52 // "RKTR"
+	version = 1
+)
+
+// Record is one executed instruction.
+type Record struct {
+	PC   uint64
+	Inst isa.Inst
+	Addr uint64 // effective address for memory operations
+}
+
+// Writer streams trace records.
+type Writer struct {
+	w   *bufio.Writer
+	n   uint64
+	err error
+}
+
+// NewWriter writes a trace header and returns the writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], magic)
+	binary.LittleEndian.PutUint32(hdr[4:], version)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Write appends one record.
+func (t *Writer) Write(r Record) error {
+	if t.err != nil {
+		return t.err
+	}
+	var buf [24]byte
+	binary.LittleEndian.PutUint64(buf[0:], r.PC)
+	binary.LittleEndian.PutUint64(buf[8:], r.Inst.EncodeWord())
+	binary.LittleEndian.PutUint64(buf[16:], r.Addr)
+	if _, err := t.w.Write(buf[:]); err != nil {
+		t.err = err
+		return err
+	}
+	t.n++
+	return nil
+}
+
+// Count returns the number of records written.
+func (t *Writer) Count() uint64 { return t.n }
+
+// Flush flushes buffered records.
+func (t *Writer) Flush() error {
+	if t.err != nil {
+		return t.err
+	}
+	return t.w.Flush()
+}
+
+// Reader streams trace records back.
+type Reader struct {
+	r *bufio.Reader
+}
+
+// NewReader validates the header and returns a reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: short header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != magic {
+		return nil, errors.New("trace: bad magic")
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != version {
+		return nil, fmt.Errorf("trace: unsupported version %d", v)
+	}
+	return &Reader{r: br}, nil
+}
+
+// Read returns the next record, or io.EOF at the end of the trace.
+func (t *Reader) Read() (Record, error) {
+	var buf [24]byte
+	if _, err := io.ReadFull(t.r, buf[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return Record{}, io.EOF
+		}
+		return Record{}, fmt.Errorf("trace: truncated record: %w", err)
+	}
+	in, err := isa.DecodeWord(binary.LittleEndian.Uint64(buf[8:]))
+	if err != nil {
+		return Record{}, err
+	}
+	return Record{
+		PC:   binary.LittleEndian.Uint64(buf[0:]),
+		Inst: in,
+		Addr: binary.LittleEndian.Uint64(buf[16:]),
+	}, nil
+}
+
+// Summary aggregates a trace into the workload-characterization numbers
+// reported in the reproduction's Table 2.
+type Summary struct {
+	Insts    uint64
+	Loads    uint64
+	Stores   uint64
+	Branches uint64
+	Jumps    uint64
+	Atomics  uint64
+	LongOps  uint64
+	// TouchedLines is the number of distinct 64-byte lines accessed by
+	// data references (footprint proxy).
+	TouchedLines uint64
+}
+
+// LoadPct returns loads as a percentage of instructions.
+func (s Summary) LoadPct() float64 { return pct(s.Loads, s.Insts) }
+
+// StorePct returns stores as a percentage of instructions.
+func (s Summary) StorePct() float64 { return pct(s.Stores, s.Insts) }
+
+// BranchPct returns conditional branches as a percentage of instructions.
+func (s Summary) BranchPct() float64 { return pct(s.Branches, s.Insts) }
+
+func pct(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}
+
+// Summarize consumes a reader and aggregates it.
+func Summarize(r *Reader) (Summary, error) {
+	var s Summary
+	lines := make(map[uint64]struct{})
+	for {
+		rec, err := r.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return s, err
+		}
+		s.Insts++
+		op := rec.Inst.Op
+		switch {
+		case op.IsLoad():
+			s.Loads++
+		case op.IsStore():
+			s.Stores++
+		case op.IsBranch():
+			s.Branches++
+		case op.IsJump():
+			s.Jumps++
+		case op.Class() == isa.ClassAtomic:
+			s.Atomics++
+		}
+		if op.IsLongLatency() {
+			s.LongOps++
+		}
+		if op.IsMem() && op.Class() != isa.ClassPrefetch {
+			lines[rec.Addr>>6] = struct{}{}
+		}
+	}
+	s.TouchedLines = uint64(len(lines))
+	return s, nil
+}
+
+// Collector adapts a Writer into an emulator hook capturing effective
+// addresses.
+type Collector struct {
+	W   *Writer
+	Emu *isa.Emulator
+	Err error
+}
+
+// Hook returns a function suitable for isa.Emulator.Hook. It must be
+// installed on the same emulator passed here (register state is read to
+// recompute effective addresses).
+func (c *Collector) Hook() func(pc uint64, in isa.Inst) {
+	return func(pc uint64, in isa.Inst) {
+		if c.Err != nil {
+			return
+		}
+		var addr uint64
+		if in.Op.IsMem() {
+			base := int64(0)
+			if in.Rs1 != isa.RegZero {
+				base = c.Emu.Reg[in.Rs1]
+			}
+			if in.Op.Class() == isa.ClassAtomic {
+				addr = uint64(base)
+			} else {
+				addr = uint64(base + int64(in.Imm))
+			}
+		}
+		c.Err = c.W.Write(Record{PC: pc, Inst: in, Addr: addr})
+	}
+}

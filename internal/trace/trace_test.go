@@ -1,0 +1,133 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"rocksim/internal/asm"
+	"rocksim/internal/isa"
+	"rocksim/internal/mem"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []Record{
+		{PC: 0x1000, Inst: isa.Inst{Op: isa.OpAdd, Rd: 1, Rs1: 2, Rs2: 3}},
+		{PC: 0x1008, Inst: isa.Inst{Op: isa.OpLd64, Rd: 4, Rs1: 5, Imm: 16}, Addr: 0xbeef},
+		{PC: 0x1010, Inst: isa.Inst{Op: isa.OpHalt}},
+	}
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 3 {
+		t.Errorf("count = %d", w.Count())
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range recs {
+		got, err := r.Read()
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if got != want {
+			t.Errorf("rec %d = %+v, want %+v", i, got, want)
+		}
+	}
+	if _, err := r.Read(); !errors.Is(err, io.EOF) {
+		t.Errorf("want EOF, got %v", err)
+	}
+}
+
+func TestReaderRejectsGarbage(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("not a trace file"))); err == nil {
+		t.Error("accepted bad magic")
+	}
+	if _, err := NewReader(bytes.NewReader(nil)); err == nil {
+		t.Error("accepted empty input")
+	}
+}
+
+func TestReaderTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Write(Record{PC: 8, Inst: isa.Inst{Op: isa.OpNop}})
+	w.Flush()
+	trunc := buf.Bytes()[:buf.Len()-5]
+	r, err := NewReader(bytes.NewReader(trunc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Read(); err == nil || errors.Is(err, io.EOF) {
+		t.Errorf("want truncation error, got %v", err)
+	}
+}
+
+func TestCollectorAndSummary(t *testing.T) {
+	prog, err := asm.Assemble(`
+		.org 0x10000
+		movi r1, 0x20000
+		movi r2, 10
+	loop:	ld64 r3, (r1)
+		add  r4, r4, r3
+		st64 r4, 8(r1)
+		div  r5, r4, r2
+		addi r1, r1, 64
+		addi r2, r2, -1
+		bne  r2, zero, loop
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.NewSparse()
+	prog.Load(m)
+	emu := isa.NewEmulator(prog.Entry, m)
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	col := &Collector{W: w, Emu: emu}
+	emu.Hook = col.Hook()
+	if err := emu.Run(10000); err != nil {
+		t.Fatal(err)
+	}
+	if col.Err != nil {
+		t.Fatal(col.Err)
+	}
+	w.Flush()
+
+	r, _ := NewReader(bytes.NewReader(buf.Bytes()))
+	s, err := Summarize(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Insts != emu.Executed {
+		t.Errorf("insts = %d, want %d", s.Insts, emu.Executed)
+	}
+	if s.Loads != 10 || s.Stores != 10 || s.Branches != 10 {
+		t.Errorf("mix = %d/%d/%d", s.Loads, s.Stores, s.Branches)
+	}
+	if s.LongOps != 10 {
+		t.Errorf("long ops = %d", s.LongOps)
+	}
+	// 10 iterations at 64B stride touch 10 distinct lines (the st64 at
+	// +8 stays within the load's line).
+	if s.TouchedLines != 10 {
+		t.Errorf("touched lines = %d", s.TouchedLines)
+	}
+	if s.LoadPct() <= 0 || s.StorePct() <= 0 || s.BranchPct() <= 0 {
+		t.Error("percent helpers zero")
+	}
+}

@@ -1,0 +1,666 @@
+package workload
+
+import (
+	"rocksim/internal/asm"
+	"rocksim/internal/isa"
+)
+
+// Register conventions used by all generators.
+const (
+	rState = 4  // PRNG state
+	rBase  = 5  // primary table base
+	rBase2 = 6  // secondary table base
+	rMask  = 7  // index mask
+	rMask2 = 8  // secondary index mask
+	rIter  = 9  // outer loop counter
+	rAddr  = 10 // computed address
+	rVal   = 11
+	rVal2  = 12
+	rAcc   = 13 // accumulator (result)
+	rTmp   = 14
+	rTmp2  = 15
+	rMulA  = 16 // LCG multiplier
+	rAddC  = 17 // LCG increment
+	rInner = 18
+	rPtr   = 19
+	rScr   = 30
+	rScr2  = 31
+)
+
+// lcgStep emits: state = state*A + C; idx(rTmp) = (state >> 33) & mask.
+func lcgStep(b *asm.Builder, mask uint8) {
+	b.Op(isa.OpMul, rState, rState, rMulA)
+	b.Op(isa.OpAdd, rState, rState, rAddC)
+	b.Opi(isa.OpSrli, rTmp, rState, 33)
+	b.Op(isa.OpAnd, rTmp, rTmp, mask)
+}
+
+// emitLCGInit loads the LCG constants.
+func emitLCGInit(b *asm.Builder, seed int64) {
+	b.MovImm64(rMulA, rScr, 6364136223846793005)
+	b.MovImm64(rAddC, rScr, 1442695040888963407)
+	b.MovImm64(rState, rScr, seed)
+}
+
+// OLTP is the TPC-C-class proxy: random index lookups into a table far
+// larger than the caches, a dependent second probe (two-deep miss
+// chains), data-dependent validation branches and a write every few
+// transactions. This is the miss-dominated, low-ILP behaviour the paper
+// reports for OLTP.
+func OLTP(s Scale) (*Spec, error) {
+	tableLines, iters := 4096, 1500 // 256 KiB table
+	if s == ScaleFull {
+		tableLines, iters = 1<<17, 20000 // 8 MiB table
+	}
+	const base = 0x1000000
+	base2 := uint64(base + uint64(tableLines)*64)
+
+	b := asm.NewBuilder(asm.DefaultTextBase)
+	emitLCGInit(b, 0x123456789)
+	b.MovImm64(rBase, rScr, base)
+	b.MovImm64(rBase2, rScr, int64(base2))
+	b.Movi(rMask, int32(tableLines-1))
+	b.Movi(rMask2, int32(tableLines-1))
+	b.Movi(rIter, int32(iters))
+	b.Movi(rAcc, 0)
+
+	b.Label("txn")
+	// Probe 1: random row.
+	lcgStep(b, rMask)
+	b.Opi(isa.OpSlli, rAddr, rTmp, 6)
+	b.Op(isa.OpAdd, rAddr, rAddr, rBase)
+	b.Ld(isa.OpLd64, rVal, rAddr, 0)
+	// Probe 2: dependent row selected by the loaded key.
+	b.Op(isa.OpAnd, rTmp2, rVal, rMask2)
+	b.Opi(isa.OpSlli, rTmp2, rTmp2, 6)
+	b.Op(isa.OpAdd, rTmp2, rTmp2, rBase2)
+	b.Ld(isa.OpLd64, rVal2, rTmp2, 8)
+	// Independent probe: second random row (MLP opportunity).
+	lcgStep(b, rMask)
+	b.Opi(isa.OpSlli, rPtr, rTmp, 6)
+	b.Op(isa.OpAdd, rPtr, rPtr, rBase)
+	b.Ld(isa.OpLd64, rInner, rPtr, 16)
+	// Validation branches on loaded data.
+	b.Opi(isa.OpAndi, rTmp, rVal2, 1)
+	b.Br(isa.OpBeq, rTmp, isa.RegZero, "even")
+	b.Op(isa.OpAdd, rAcc, rAcc, rVal2)
+	b.Jmp("join")
+	b.Label("even")
+	b.Op(isa.OpSub, rAcc, rAcc, rVal)
+	b.Label("join")
+	b.Op(isa.OpAdd, rAcc, rAcc, rInner)
+	// Every 4th transaction updates the row (write traffic).
+	b.Opi(isa.OpAndi, rTmp, rIter, 3)
+	b.Br(isa.OpBne, rTmp, isa.RegZero, "nowrite")
+	b.St(isa.OpSt64, rAcc, rAddr, 24)
+	b.Label("nowrite")
+	b.Opi(isa.OpAddi, rIter, rIter, -1)
+	b.Br(isa.OpBne, rIter, isa.RegZero, "txn")
+	b.St(isa.OpSt64, rAcc, isa.RegZero, 64)
+	b.Halt()
+
+	// Table images: key fields hold pseudo-random values.
+	p := newPrng(7)
+	img := make([]uint64, tableLines*8)
+	for i := range img {
+		img[i] = p.next()
+	}
+	b.Data(base, quads(img))
+	img2 := make([]uint64, tableLines*8)
+	for i := range img2 {
+		img2[i] = p.next()
+	}
+	b.Data(base2, quads(img2))
+
+	prog, err := b.Finish()
+	if err != nil {
+		return nil, err
+	}
+	return &Spec{
+		Name:        "oltp",
+		Class:       ClassCommercial,
+		Standin:     "TPC-C-class OLTP",
+		Description: "random row lookups with dependent second probes, validation branches, 25% write transactions; table ≫ caches",
+		Program:     prog,
+		ApproxInsts: uint64(iters) * 24,
+	}, nil
+}
+
+// JBB is the SPECjbb-class proxy: object-graph walking with moderate
+// locality (pointer fields biased to nearby objects), per-object method
+// work and allocation-like stores.
+func JBB(s Scale) (*Spec, error) {
+	objects, iters := 4096, 1200 // 512 KiB heap
+	if s == ScaleFull {
+		objects, iters = 1<<16, 15000 // 8 MiB heap
+	}
+	const base = 0x2000000
+	const objSize = 128
+
+	b := asm.NewBuilder(asm.DefaultTextBase)
+	emitLCGInit(b, 0xabcdef01)
+	b.MovImm64(rBase, rScr, base)
+	b.Movi(rMask, int32(objects-1))
+	b.Movi(rIter, int32(iters))
+	b.Movi(rAcc, 0)
+
+	// Each transaction is independent (a random warehouse entry) and
+	// walks a short dependent chain of objects inside it, like a
+	// shallow B-tree lookup. Independent transactions are where SST
+	// extracts MLP; the 3-hop chain bounds what any one miss costs.
+	b.Label("txn")
+	lcgStep(b, rMask)
+	b.Opi(isa.OpSlli, rPtr, rTmp, 7) // *objSize
+	b.Op(isa.OpAdd, rPtr, rPtr, rBase)
+	for hop := 0; hop < 3; hop++ {
+		b.Ld(isa.OpLd64, rVal2, rPtr, 8) // value field
+		b.Op(isa.OpAdd, rAcc, rAcc, rVal2)
+		b.Ld(isa.OpLd64, rPtr, rPtr, 0) // child pointer (dependent)
+	}
+	// Leaf processing: method arithmetic plus a statistics store.
+	b.Ld(isa.OpLd64, rTmp2, rPtr, 16)
+	b.Op(isa.OpXor, rAcc, rAcc, rTmp2)
+	b.Opi(isa.OpSlli, rTmp, rAcc, 1)
+	b.Op(isa.OpAdd, rAcc, rAcc, rTmp)
+	b.St(isa.OpSt64, rAcc, rPtr, 24)
+	// Branch on object contents (mostly taken: only tag 0 is special).
+	b.Opi(isa.OpAndi, rTmp, rTmp2, 15)
+	b.Br(isa.OpBne, rTmp, isa.RegZero, "skipadd")
+	b.Opi(isa.OpAddi, rAcc, rAcc, 17)
+	b.Label("skipadd")
+	b.Opi(isa.OpAddi, rIter, rIter, -1)
+	b.Br(isa.OpBne, rIter, isa.RegZero, "txn")
+	b.St(isa.OpSt64, rAcc, isa.RegZero, 72)
+	b.Halt()
+
+	// Heap image: child pointers form a single random cycle, so chains
+	// from any entry point hop across the whole heap.
+	p := newPrng(11)
+	img := make([]uint64, objects*objSize/8)
+	perm := p.cyclePermutation(objects)
+	for i := 0; i < objects; i++ {
+		img[i*objSize/8] = uint64(base + perm[i]*objSize)
+		img[i*objSize/8+1] = p.next()
+		img[i*objSize/8+2] = p.next()
+	}
+	b.Data(base, quads(img))
+
+	prog, err := b.Finish()
+	if err != nil {
+		return nil, err
+	}
+	return &Spec{
+		Name:        "jbb",
+		Class:       ClassCommercial,
+		Standin:     "SPECjbb-class middleware",
+		Description: "independent transactions, each a short dependent object-chain walk over a heap ≫ caches, with statistics stores",
+		Program:     prog,
+		ApproxInsts: uint64(iters) * 14,
+	}, nil
+}
+
+// Web is the SPECweb-class proxy: bursty buffer scans — a random buffer
+// is selected (a miss), then scanned sequentially (spatial locality)
+// with byte-level, branchy processing.
+func Web(s Scale) (*Spec, error) {
+	buffers, iters := 512, 400 // 512 x 512B buffers = 256 KiB
+	if s == ScaleFull {
+		buffers, iters = 1<<14, 6000 // 8 MiB of buffers
+	}
+	const base = 0x3000000
+	const bufSize = 512
+
+	b := asm.NewBuilder(asm.DefaultTextBase)
+	emitLCGInit(b, 0x55aa55aa)
+	b.MovImm64(rBase, rScr, base)
+	b.Movi(rMask, int32(buffers-1))
+	b.Movi(rIter, int32(iters))
+	b.Movi(rAcc, 0)
+
+	b.Label("request")
+	lcgStep(b, rMask)
+	b.Opi(isa.OpSlli, rAddr, rTmp, 9) // *bufSize
+	b.Op(isa.OpAdd, rAddr, rAddr, rBase)
+	b.Movi(rInner, bufSize/8)
+	b.Label("scan")
+	b.Ld(isa.OpLd64, rVal, rAddr, 0)
+	// Branchy byte-ish processing of the word. Like real text, most
+	// "characters" take the common path (~6% escape rate), so the
+	// branch is predictable but not free.
+	b.Opi(isa.OpAndi, rTmp, rVal, 0x7f)
+	b.Opi(isa.OpSlti, rTmp2, rTmp, 8)
+	b.Br(isa.OpBeq, rTmp2, isa.RegZero, "printable")
+	b.Opi(isa.OpAddi, rAcc, rAcc, 1)
+	b.Jmp("next")
+	b.Label("printable")
+	b.Op(isa.OpAdd, rAcc, rAcc, rVal)
+	b.Label("next")
+	b.Opi(isa.OpAddi, rAddr, rAddr, 8)
+	b.Opi(isa.OpAddi, rInner, rInner, -1)
+	b.Br(isa.OpBne, rInner, isa.RegZero, "scan")
+	b.Opi(isa.OpAddi, rIter, rIter, -1)
+	b.Br(isa.OpBne, rIter, isa.RegZero, "request")
+	b.St(isa.OpSt64, rAcc, isa.RegZero, 80)
+	b.Halt()
+
+	p := newPrng(13)
+	img := make([]uint64, buffers*bufSize/8)
+	for i := range img {
+		img[i] = p.next()
+	}
+	b.Data(base, quads(img))
+
+	prog, err := b.Finish()
+	if err != nil {
+		return nil, err
+	}
+	return &Spec{
+		Name:        "web",
+		Class:       ClassCommercial,
+		Standin:     "SPECweb-class serving",
+		Description: "random buffer selection (miss) followed by sequential branchy scanning (spatial locality bursts)",
+		Program:     prog,
+		ApproxInsts: uint64(iters) * uint64(bufSize/8) * 8,
+	}, nil
+}
+
+// ERP is the SAP-class proxy: read-modify-write transactions over random
+// rows — the most store-heavy commercial workload, sized to pressure the
+// speculative store buffer.
+func ERP(s Scale) (*Spec, error) {
+	rows, iters := 4096, 1200 // 512 KiB
+	if s == ScaleFull {
+		rows, iters = 1<<16, 15000 // 8 MiB
+	}
+	const base = 0x4000000
+	const rowSize = 128
+
+	b := asm.NewBuilder(asm.DefaultTextBase)
+	emitLCGInit(b, 0x777)
+	b.MovImm64(rBase, rScr, base)
+	b.Movi(rMask, int32(rows-1))
+	b.Movi(rIter, int32(iters))
+	b.Movi(rAcc, 0)
+
+	b.Label("txn")
+	lcgStep(b, rMask)
+	b.Opi(isa.OpSlli, rAddr, rTmp, 7) // *rowSize
+	b.Op(isa.OpAdd, rAddr, rAddr, rBase)
+	// Read four fields.
+	b.Ld(isa.OpLd64, rVal, rAddr, 0)
+	b.Ld(isa.OpLd64, rVal2, rAddr, 8)
+	b.Ld(isa.OpLd64, rTmp2, rAddr, 16)
+	b.Ld(isa.OpLd64, rInner, rAddr, 24)
+	// Business logic.
+	b.Op(isa.OpAdd, rVal, rVal, rVal2)
+	b.Op(isa.OpXor, rTmp2, rTmp2, rInner)
+	b.Opi(isa.OpSrai, rPtr, rVal, 3)
+	b.Op(isa.OpAdd, rAcc, rAcc, rPtr)
+	// Write back two fields plus a journal entry.
+	b.St(isa.OpSt64, rVal, rAddr, 0)
+	b.St(isa.OpSt64, rTmp2, rAddr, 16)
+	b.St(isa.OpSt64, rAcc, rAddr, 32)
+	b.Br(isa.OpBge, rAcc, isa.RegZero, "pos")
+	b.St(isa.OpSt64, rIter, rAddr, 40)
+	b.Label("pos")
+	b.Opi(isa.OpAddi, rIter, rIter, -1)
+	b.Br(isa.OpBne, rIter, isa.RegZero, "txn")
+	b.St(isa.OpSt64, rAcc, isa.RegZero, 88)
+	b.Halt()
+
+	p := newPrng(17)
+	img := make([]uint64, rows*rowSize/8)
+	for i := range img {
+		img[i] = p.next()
+	}
+	b.Data(base, quads(img))
+
+	prog, err := b.Finish()
+	if err != nil {
+		return nil, err
+	}
+	return &Spec{
+		Name:        "erp",
+		Class:       ClassCommercial,
+		Standin:     "SAP-class ERP",
+		Description: "read-modify-write transactions over random rows; highest store fraction, pressures the speculative store buffer",
+		Program:     prog,
+		ApproxInsts: uint64(iters) * 20,
+	}, nil
+}
+
+// MCFLike is the SPEC CPU mcf proxy: dependent pointer chasing with a
+// little arithmetic — the worst case for overlap (every miss depends on
+// the previous one).
+func MCFLike(s Scale) (*Spec, error) {
+	nodes, steps := 8192, 20000 // 512 KiB
+	if s == ScaleFull {
+		nodes, steps = 1<<17, 150000 // 8 MiB
+	}
+	const base = 0x5000000
+
+	b := asm.NewBuilder(asm.DefaultTextBase)
+	b.MovImm64(rPtr, rScr, base)
+	b.Movi(rIter, 0)
+	b.MovImm64(rTmp2, rScr, int64(steps))
+	b.Movi(rAcc, 0)
+	b.Label("chase")
+	b.Ld(isa.OpLd64, rVal, rPtr, 8) // payload
+	b.Op(isa.OpAdd, rAcc, rAcc, rVal)
+	b.Ld(isa.OpLd64, rPtr, rPtr, 0) // next (dependent miss)
+	b.Opi(isa.OpAddi, rIter, rIter, 1)
+	b.Br(isa.OpBne, rIter, rTmp2, "chase")
+	b.St(isa.OpSt64, rAcc, isa.RegZero, 96)
+	b.Halt()
+
+	p := newPrng(19)
+	perm := p.cyclePermutation(nodes)
+	img := make([]uint64, nodes*8)
+	for i := 0; i < nodes; i++ {
+		img[i*8] = uint64(base + perm[i]*64)
+		img[i*8+1] = p.next() % 1000
+	}
+	b.Data(base, quads(img))
+
+	prog, err := b.Finish()
+	if err != nil {
+		return nil, err
+	}
+	return &Spec{
+		Name:        "mcf",
+		Class:       ClassSPEC,
+		Standin:     "SPEC CPU mcf",
+		Description: "dependent pointer chase over a ring ≫ caches; serialized misses, minimal exploitable MLP",
+		Program:     prog,
+		ApproxInsts: uint64(steps) * 5,
+	}, nil
+}
+
+// StreamLike is the streaming proxy (SPEC art/stream): sequential sweep
+// with perfect spatial locality; one miss per line, fully overlappable.
+func StreamLike(s Scale) (*Spec, error) {
+	words, passes := 1<<15, 4 // 256 KiB
+	if s == ScaleFull {
+		words, passes = 1<<20, 3 // 8 MiB
+	}
+	const base = 0x6000000
+
+	b := asm.NewBuilder(asm.DefaultTextBase)
+	b.Movi(rVal2, int32(passes))
+	b.Movi(rAcc, 0)
+	b.Label("pass")
+	b.MovImm64(rAddr, rScr, base)
+	b.MovImm64(rInner, rScr, int64(words/4))
+	b.Label("sum")
+	b.Ld(isa.OpLd64, rVal, rAddr, 0)
+	b.Ld(isa.OpLd64, rTmp, rAddr, 8)
+	b.Ld(isa.OpLd64, rTmp2, rAddr, 16)
+	b.Ld(isa.OpLd64, rPtr, rAddr, 24)
+	b.Op(isa.OpAdd, rAcc, rAcc, rVal)
+	b.Op(isa.OpAdd, rAcc, rAcc, rTmp)
+	b.Op(isa.OpAdd, rAcc, rAcc, rTmp2)
+	b.Op(isa.OpAdd, rAcc, rAcc, rPtr)
+	b.Opi(isa.OpAddi, rAddr, rAddr, 32)
+	b.Opi(isa.OpAddi, rInner, rInner, -1)
+	b.Br(isa.OpBne, rInner, isa.RegZero, "sum")
+	b.Opi(isa.OpAddi, rVal2, rVal2, -1)
+	b.Br(isa.OpBne, rVal2, isa.RegZero, "pass")
+	b.St(isa.OpSt64, rAcc, isa.RegZero, 104)
+	b.Halt()
+
+	p := newPrng(23)
+	img := make([]uint64, words)
+	for i := range img {
+		img[i] = p.next() & 0xffff
+	}
+	b.Data(base, quads(img))
+
+	prog, err := b.Finish()
+	if err != nil {
+		return nil, err
+	}
+	return &Spec{
+		Name:        "stream",
+		Class:       ClassSPEC,
+		Standin:     "SPEC CPU art / STREAM",
+		Description: "unit-stride sweep over an array ≫ caches; abundant independent misses",
+		Program:     prog,
+		ApproxInsts: uint64(words/4) * uint64(passes) * 11,
+	}, nil
+}
+
+// GCCLike is the branchy-integer proxy: cache-resident data with
+// data-dependent branches every few instructions — bounded by branch
+// prediction and ILP rather than memory.
+func GCCLike(s Scale) (*Spec, error) {
+	words, iters := 2048, 8000 // 16 KiB: cache resident
+	if s == ScaleFull {
+		iters = 80000
+	}
+	const base = 0x7000000
+
+	b := asm.NewBuilder(asm.DefaultTextBase)
+	emitLCGInit(b, 0x31415926)
+	b.MovImm64(rBase, rScr, base)
+	b.Movi(rMask, int32(words-1))
+	b.MovImm64(rIter, rScr, int64(iters))
+	b.Movi(rAcc, 0)
+
+	b.Label("iter")
+	lcgStep(b, rMask)
+	b.Opi(isa.OpSlli, rAddr, rTmp, 3)
+	b.Op(isa.OpAdd, rAddr, rAddr, rBase)
+	b.Ld(isa.OpLd64, rVal, rAddr, 0)
+	// A small data-dependent decision tree.
+	b.Opi(isa.OpAndi, rTmp, rVal, 7)
+	b.Opi(isa.OpSlti, rTmp2, rTmp, 4)
+	b.Br(isa.OpBeq, rTmp2, isa.RegZero, "hi")
+	b.Opi(isa.OpAndi, rTmp2, rVal, 1)
+	b.Br(isa.OpBeq, rTmp2, isa.RegZero, "lo_even")
+	b.Opi(isa.OpAddi, rAcc, rAcc, 3)
+	b.Jmp("done")
+	b.Label("lo_even")
+	b.Op(isa.OpSub, rAcc, rAcc, rTmp)
+	b.Jmp("done")
+	b.Label("hi")
+	b.Opi(isa.OpXori, rAcc, rAcc, 0x5a)
+	b.Op(isa.OpAdd, rAcc, rAcc, rVal)
+	b.Label("done")
+	b.St(isa.OpSt64, rAcc, rAddr, 0)
+	b.Opi(isa.OpAddi, rIter, rIter, -1)
+	b.Br(isa.OpBne, rIter, isa.RegZero, "iter")
+	b.St(isa.OpSt64, rAcc, isa.RegZero, 112)
+	b.Halt()
+
+	p := newPrng(29)
+	img := make([]uint64, words)
+	for i := range img {
+		img[i] = p.next()
+	}
+	b.Data(base, quads(img))
+
+	prog, err := b.Finish()
+	if err != nil {
+		return nil, err
+	}
+	return &Spec{
+		Name:        "gcc",
+		Class:       ClassSPEC,
+		Standin:     "SPEC CPU gcc/crafty",
+		Description: "cache-resident data with dense data-dependent branching; bounded by prediction and width, not memory",
+		Program:     prog,
+		ApproxInsts: uint64(iters) * 15,
+	}, nil
+}
+
+// QuantumLike is the regular-stride proxy (SPEC libquantum): long
+// strided passes of independent read-modify-writes.
+func QuantumLike(s Scale) (*Spec, error) {
+	words, passes := 1<<15, 3 // 256 KiB
+	if s == ScaleFull {
+		words, passes = 1<<20, 2 // 8 MiB
+	}
+	const base = 0x8000000
+
+	b := asm.NewBuilder(asm.DefaultTextBase)
+	b.Movi(rVal2, int32(passes))
+	b.MovImm64(rTmp2, rScr, 0x40)
+	b.Label("pass")
+	b.MovImm64(rAddr, rScr, base)
+	b.MovImm64(rInner, rScr, int64(words/8))
+	b.Label("gate")
+	b.Ld(isa.OpLd64, rVal, rAddr, 0) // stride 64B: one miss per line
+	b.Op(isa.OpXor, rVal, rVal, rTmp2)
+	b.St(isa.OpSt64, rVal, rAddr, 0)
+	b.Opi(isa.OpAddi, rAddr, rAddr, 64)
+	b.Opi(isa.OpAddi, rInner, rInner, -1)
+	b.Br(isa.OpBne, rInner, isa.RegZero, "gate")
+	b.Opi(isa.OpAddi, rVal2, rVal2, -1)
+	b.Br(isa.OpBne, rVal2, isa.RegZero, "pass")
+	b.Halt()
+
+	p := newPrng(31)
+	img := make([]uint64, words)
+	for i := range img {
+		img[i] = p.next()
+	}
+	b.Data(base, quads(img))
+
+	prog, err := b.Finish()
+	if err != nil {
+		return nil, err
+	}
+	return &Spec{
+		Name:        "quantum",
+		Class:       ClassSPEC,
+		Standin:     "SPEC CPU libquantum",
+		Description: "64B-strided read-modify-write passes; every access misses, all independent",
+		Program:     prog,
+		ApproxInsts: uint64(words/8) * uint64(passes) * 6,
+	}, nil
+}
+
+// PointerChase is the pure dependent-miss microbenchmark.
+func PointerChase(s Scale) (*Spec, error) {
+	nodes, steps := 8192, 15000
+	if s == ScaleFull {
+		nodes, steps = 1<<17, 100000
+	}
+	const base = 0x9000000
+
+	b := asm.NewBuilder(asm.DefaultTextBase)
+	b.MovImm64(rPtr, rScr, base)
+	b.MovImm64(rIter, rScr, int64(steps))
+	b.Label("chase")
+	b.Ld(isa.OpLd64, rPtr, rPtr, 0)
+	b.Opi(isa.OpAddi, rIter, rIter, -1)
+	b.Br(isa.OpBne, rIter, isa.RegZero, "chase")
+	b.St(isa.OpSt64, rPtr, isa.RegZero, 120)
+	b.Halt()
+
+	p := newPrng(37)
+	perm := p.cyclePermutation(nodes)
+	img := make([]uint64, nodes*8)
+	for i := 0; i < nodes; i++ {
+		img[i*8] = uint64(base + perm[i]*64)
+	}
+	b.Data(base, quads(img))
+
+	prog, err := b.Finish()
+	if err != nil {
+		return nil, err
+	}
+	return &Spec{
+		Name:        "chase",
+		Class:       ClassMicro,
+		Standin:     "dependent-miss chain",
+		Description: "pure pointer chase: the lower bound for any overlap technique",
+		Program:     prog,
+		ApproxInsts: uint64(steps) * 3,
+	}, nil
+}
+
+// RandomArray is the independent-miss microbenchmark: every iteration
+// issues an address-independent random load, ideal for MLP extraction.
+func RandomArray(s Scale) (*Spec, error) {
+	lines, iters := 8192, 10000 // 512 KiB
+	if s == ScaleFull {
+		lines, iters = 1<<17, 80000
+	}
+	const base = 0xa000000
+
+	b := asm.NewBuilder(asm.DefaultTextBase)
+	emitLCGInit(b, 0xfeedbeef)
+	b.MovImm64(rBase, rScr, base)
+	b.Movi(rMask, int32(lines-1))
+	b.MovImm64(rIter, rScr, int64(iters))
+	b.Movi(rAcc, 0)
+	b.Label("probe")
+	lcgStep(b, rMask)
+	b.Opi(isa.OpSlli, rAddr, rTmp, 6)
+	b.Op(isa.OpAdd, rAddr, rAddr, rBase)
+	b.Ld(isa.OpLd64, rVal, rAddr, 0)
+	b.Op(isa.OpAdd, rAcc, rAcc, rVal)
+	b.Opi(isa.OpAddi, rIter, rIter, -1)
+	b.Br(isa.OpBne, rIter, isa.RegZero, "probe")
+	b.St(isa.OpSt64, rAcc, isa.RegZero, 128)
+	b.Halt()
+
+	p := newPrng(41)
+	img := make([]uint64, lines*8)
+	for i := range img {
+		img[i] = p.next() & 0xffff
+	}
+	b.Data(base, quads(img))
+
+	prog, err := b.Finish()
+	if err != nil {
+		return nil, err
+	}
+	return &Spec{
+		Name:        "randarr",
+		Class:       ClassMicro,
+		Standin:     "independent random misses",
+		Description: "address-independent random loads: the upper bound for MLP extraction",
+		Program:     prog,
+		ApproxInsts: uint64(iters) * 10,
+	}, nil
+}
+
+// DenseCompute is the no-miss microbenchmark: register-resident
+// arithmetic with a predictable loop; all cores should look similar,
+// modulo width.
+func DenseCompute(s Scale) (*Spec, error) {
+	iters := 20000
+	if s == ScaleFull {
+		iters = 200000
+	}
+	b := asm.NewBuilder(asm.DefaultTextBase)
+	b.MovImm64(rIter, rScr, int64(iters))
+	b.Movi(rAcc, 1)
+	b.Movi(rVal, 3)
+	b.Movi(rVal2, 5)
+	b.Label("loop")
+	b.Op(isa.OpMul, rTmp, rAcc, rVal)
+	b.Op(isa.OpAdd, rTmp, rTmp, rVal2)
+	b.Opi(isa.OpXori, rTmp2, rTmp, 0x2d)
+	b.Op(isa.OpAdd, rAcc, rTmp, rTmp2)
+	b.Opi(isa.OpSrai, rAcc, rAcc, 1)
+	b.Opi(isa.OpAddi, rIter, rIter, -1)
+	b.Br(isa.OpBne, rIter, isa.RegZero, "loop")
+	b.St(isa.OpSt64, rAcc, isa.RegZero, 136)
+	b.Halt()
+
+	prog, err := b.Finish()
+	if err != nil {
+		return nil, err
+	}
+	return &Spec{
+		Name:        "dense",
+		Class:       ClassMicro,
+		Standin:     "register-resident compute",
+		Description: "no memory traffic: isolates pipeline width and latency effects",
+		Program:     prog,
+		ApproxInsts: uint64(iters) * 7,
+	}, nil
+}

@@ -1,0 +1,156 @@
+package workload
+
+import (
+	"encoding/binary"
+
+	"rocksim/internal/asm"
+	"rocksim/internal/isa"
+)
+
+// BTree is the index-lookup kernel: binary search over a sorted array
+// far larger than the caches. Each probe is a log(n)-deep chain of
+// dependent misses steered by data-dependent (essentially random)
+// branches — the hardest honest case for deferred-branch prediction,
+// since every comparison outcome is a coin flip.
+func BTree(s Scale) (*Spec, error) {
+	keys, probes := 1<<15, 2000 // 256 KiB
+	if s == ScaleFull {
+		keys, probes = 1<<20, 12000 // 8 MiB
+	}
+	const base = 0xb000000
+
+	b := asm.NewBuilder(asm.DefaultTextBase)
+	emitLCGInit(b, 0xb7ee5)
+	b.MovImm64(rBase, rScr, base)
+	b.MovImm64(rIter, rScr, int64(probes))
+	b.Movi(rAcc, 0)
+	b.Movi(rMask, int32(keys-1))
+
+	b.Label("probe")
+	lcgStep(b, rMask)                 // rTmp = random target key index; keys[i] = 2*i
+	b.Opi(isa.OpSlli, rVal2, rTmp, 1) // target value
+	// Binary search over [lo, hi).
+	b.Movi(rTmp2, 0)            // lo
+	b.Movi(rInner, int32(keys)) // hi
+	b.Label("bsearch")
+	b.Op(isa.OpSub, rPtr, rInner, rTmp2)
+	b.Opi(isa.OpSlti, rScr2, rPtr, 2)
+	b.Br(isa.OpBne, rScr2, isa.RegZero, "found") // hi-lo < 2
+	b.Op(isa.OpAdd, rPtr, rTmp2, rInner)
+	b.Opi(isa.OpSrli, rPtr, rPtr, 1) // mid
+	b.Opi(isa.OpSlli, rAddr, rPtr, 3)
+	b.Op(isa.OpAdd, rAddr, rAddr, rBase)
+	b.Ld(isa.OpLd64, rVal, rAddr, 0) // keys[mid]: dependent miss
+	b.Br(isa.OpBlt, rVal, rVal2, "goright")
+	b.Opi(isa.OpAddi, rInner, rPtr, 0) // hi = mid
+	b.Jmp("bsearch")
+	b.Label("goright")
+	b.Opi(isa.OpAddi, rTmp2, rPtr, 0) // lo = mid
+	b.Jmp("bsearch")
+	b.Label("found")
+	b.Op(isa.OpAdd, rAcc, rAcc, rTmp2)
+	b.Opi(isa.OpAddi, rIter, rIter, -1)
+	b.Br(isa.OpBne, rIter, isa.RegZero, "probe")
+	b.St(isa.OpSt64, rAcc, isa.RegZero, 144)
+	b.Halt()
+
+	// Sorted key array: keys[i] = 2*i (so any even target exists).
+	img := make([]byte, keys*8)
+	for i := 0; i < keys; i++ {
+		binary.LittleEndian.PutUint64(img[i*8:], uint64(2*i))
+	}
+	b.Data(base, img)
+
+	prog, err := b.Finish()
+	if err != nil {
+		return nil, err
+	}
+	return &Spec{
+		Name:        "btree",
+		Class:       ClassCommercial,
+		Standin:     "index lookups (B-tree/binary search)",
+		Description: "binary search over a sorted array ≫ caches: log-depth dependent misses steered by unpredictable comparisons",
+		Program:     prog,
+		ApproxInsts: uint64(probes) * 12 * uint64(log2i(keys)),
+	}, nil
+}
+
+func log2i(v int) int {
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// HashJoin is the analytics kernel: build a hash table from one
+// relation, then probe it with another. The probe phase issues
+// independent hashed lookups (high MLP) each followed by a short
+// dependent chain (bucket walk) — the classic in-memory join profile.
+func HashJoin(s Scale) (*Spec, error) {
+	buckets, buildRows, probeRows := 1<<13, 4000, 4000 // 64 KiB of buckets
+	if s == ScaleFull {
+		buckets, buildRows, probeRows = 1<<17, 60000, 60000 // 8 MiB
+	}
+	const bucketBase = 0xc000000
+	nodeBase := uint64(bucketBase) + uint64(buckets)*8
+
+	b := asm.NewBuilder(asm.DefaultTextBase)
+	emitLCGInit(b, 0xca5cade)
+	b.MovImm64(rBase, rScr, bucketBase)
+	b.Movi(rMask, int32(buckets-1))
+	b.MovImm64(rBase2, rScr, int64(nodeBase))
+	b.Movi(rAcc, 0)
+
+	// Build phase: insert rows at the head of hashed bucket chains.
+	// Node layout: {next, key} (16 bytes, one per row).
+	b.MovImm64(rIter, rScr, int64(buildRows))
+	b.Opi(isa.OpAddi, rPtr, rBase2, 0) // next free node
+	b.Label("build")
+	lcgStep(b, rMask) // rTmp = hash(key) (the key IS the hash input)
+	b.Opi(isa.OpSlli, rAddr, rTmp, 3)
+	b.Op(isa.OpAdd, rAddr, rAddr, rBase) // &buckets[h]
+	b.Ld(isa.OpLd64, rVal, rAddr, 0)     // old head
+	b.St(isa.OpSt64, rVal, rPtr, 0)      // node.next = old head
+	b.St(isa.OpSt64, rTmp, rPtr, 8)      // node.key = h (self-describing)
+	b.St(isa.OpSt64, rPtr, rAddr, 0)     // bucket = node
+	b.Opi(isa.OpAddi, rPtr, rPtr, 16)
+	b.Opi(isa.OpAddi, rIter, rIter, -1)
+	b.Br(isa.OpBne, rIter, isa.RegZero, "build")
+
+	// Probe phase: look up random keys, walking bucket chains.
+	b.MovImm64(rIter, rScr, int64(probeRows))
+	b.Label("fetch")
+	lcgStep(b, rMask)
+	b.Opi(isa.OpSlli, rAddr, rTmp, 3)
+	b.Op(isa.OpAdd, rAddr, rAddr, rBase)
+	b.Ld(isa.OpLd64, rVal, rAddr, 0) // bucket head (independent miss)
+	b.Label("walk")
+	b.Br(isa.OpBeq, rVal, isa.RegZero, "miss")
+	b.Ld(isa.OpLd64, rVal2, rVal, 8) // node.key (dependent)
+	b.Br(isa.OpBne, rVal2, rTmp, "next")
+	b.Opi(isa.OpAddi, rAcc, rAcc, 1) // match
+	b.Jmp("miss")
+	b.Label("next")
+	b.Ld(isa.OpLd64, rVal, rVal, 0) // node.next (dependent)
+	b.Jmp("walk")
+	b.Label("miss")
+	b.Opi(isa.OpAddi, rIter, rIter, -1)
+	b.Br(isa.OpBne, rIter, isa.RegZero, "fetch")
+	b.St(isa.OpSt64, rAcc, isa.RegZero, 152)
+	b.Halt()
+
+	prog, err := b.Finish()
+	if err != nil {
+		return nil, err
+	}
+	return &Spec{
+		Name:        "hashjoin",
+		Class:       ClassCommercial,
+		Standin:     "in-memory hash join (analytics)",
+		Description: "hash build then probe: independent hashed lookups with short dependent bucket walks",
+		Program:     prog,
+		ApproxInsts: uint64(buildRows)*12 + uint64(probeRows)*14,
+	}, nil
+}

@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"fmt"
+
+	"rocksim/internal/asm"
+	"rocksim/internal/isa"
+)
+
+// AppServer is the instruction-footprint proxy: real commercial server
+// codes have megabytes of hot code, and frontend (L1I) misses are a
+// stall source that neither out-of-order windows nor SST deferral can
+// hide — fetch feeds both strands. The workload generates hundreds of
+// distinct handler functions (code footprint well beyond the L1I),
+// dispatched through a function-pointer table by indirect call, each
+// touching a little session data.
+func AppServer(s Scale) (*Spec, error) {
+	handlers, requests := 96, 1500 // ~64 KiB of code (2x L1I)
+	if s == ScaleFull {
+		handlers, requests = 384, 12000 // ~300 KiB of code
+	}
+	const tableBase = 0xd000000 // function-pointer table
+	const dataBase = 0xd800000  // per-handler session data
+
+	b := asm.NewBuilder(asm.DefaultTextBase)
+	b.SetEntry("main")
+
+	// Handler i: a few distinct arithmetic ops + a session-data update.
+	// Bodies differ so they occupy distinct cache lines and cannot be
+	// deduplicated by the I-cache.
+	p := newPrng(43)
+	ops := []isa.Op{isa.OpAdd, isa.OpXor, isa.OpSub, isa.OpOr, isa.OpAnd}
+	for i := 0; i < handlers; i++ {
+		b.Label(fmt.Sprintf("h%d", i))
+		// 16-24 instructions of handler-specific work.
+		n := 12 + p.intn(8)
+		for j := 0; j < n; j++ {
+			switch p.intn(4) {
+			case 0:
+				b.Op(ops[p.intn(len(ops))], rAcc, rAcc, rVal)
+			case 1:
+				b.Opi(isa.OpAddi, rVal, rVal, int32(p.intn(64)))
+			case 2:
+				b.Opi(isa.OpXori, rAcc, rAcc, int32(p.intn(256)))
+			default:
+				b.Opi(isa.OpSlli, rTmp, rAcc, int32(1+p.intn(3)))
+			}
+		}
+		// Touch this handler's session line.
+		b.Ld(isa.OpLd64, rVal2, rBase2, int32(i*64))
+		b.Op(isa.OpAdd, rAcc, rAcc, rVal2)
+		b.St(isa.OpSt64, rAcc, rBase2, int32(i*64))
+		b.Ret()
+	}
+
+	b.Label("main")
+	emitLCGInit(b, 0xa5e12) // deterministic seed
+	b.MovImm64(rBase, rScr, tableBase)
+	b.MovImm64(rBase2, rScr, dataBase)
+	b.Movi(rMask, int32(handlers-1))
+	b.MovImm64(rIter, rScr, int64(requests))
+	b.Movi(rAcc, 0)
+	b.Movi(rVal, 3)
+
+	b.Label("dispatch")
+	lcgStep(b, rMask) // rTmp = handler index
+	b.Opi(isa.OpSlli, rAddr, rTmp, 3)
+	b.Op(isa.OpAdd, rAddr, rAddr, rBase)
+	b.Ld(isa.OpLd64, rPtr, rAddr, 0) // function pointer
+	b.Jalr(isa.RegRA, rPtr, 0)       // indirect call
+	b.Opi(isa.OpAddi, rIter, rIter, -1)
+	b.Br(isa.OpBne, rIter, isa.RegZero, "dispatch")
+	b.St(isa.OpSt64, rAcc, isa.RegZero, 160)
+	b.Halt()
+
+	prog, err := b.Finish()
+	if err != nil {
+		return nil, err
+	}
+	// Fill the function-pointer table now that handler addresses exist.
+	ptrs := make([]uint64, handlers)
+	for i := 0; i < handlers; i++ {
+		a, ok := prog.Symbol(fmt.Sprintf("h%d", i))
+		if !ok {
+			return nil, fmt.Errorf("workload appsrv: missing handler %d", i)
+		}
+		ptrs[i] = a
+	}
+	prog.Segments = append(prog.Segments, asm.Segment{Addr: tableBase, Data: quads(ptrs)})
+
+	return &Spec{
+		Name:        "appsrv",
+		Class:       ClassCommercial,
+		Standin:     "large-code application server",
+		Description: "hundreds of distinct handlers dispatched by indirect call; code footprint ≫ L1I, so the frontend stalls that no backend technique hides",
+		Program:     prog,
+		ApproxInsts: uint64(requests) * 28,
+	}, nil
+}
