@@ -1,0 +1,34 @@
+# Verification tiers. tier1 is the gate every change must keep green;
+# tier2 adds vet + the race detector (the simulator is single-threaded,
+# so -race is cheap insurance against future concurrency); determinism
+# re-runs the observability tests twice in one process to prove the
+# exports are byte-stable across map-iteration orders.
+
+GO ?= go
+
+.PHONY: all tier1 tier2 determinism ci bench-overhead golden
+
+all: tier1
+
+tier1:
+	$(GO) build ./...
+	$(GO) test ./...
+
+tier2:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+determinism:
+	$(GO) test -run TestObs -count=2 ./...
+
+ci: tier1 tier2 determinism
+
+# Guard the near-zero disabled cost of the observability layer: compare
+# ns/op by hand against the seed baseline recorded in ISSUE.md.
+bench-overhead:
+	$(GO) test -bench SimSST -benchtime 2x -run '^$$' .
+
+# Regenerate the Chrome-trace golden file after a deliberate exporter
+# format change.
+golden:
+	$(GO) test ./internal/obs -run TestObsChromeGolden -update

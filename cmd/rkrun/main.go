@@ -7,6 +7,7 @@
 //	rkrun prog.s
 //	rkrun -trace out.rktr -summary prog.s
 //	rkrun -workload oltp -summary        # trace a built-in workload
+//	rkrun -workload oltp -metrics m.json # machine-readable counters
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"rocksim/internal/asm"
 	"rocksim/internal/isa"
 	"rocksim/internal/mem"
+	"rocksim/internal/obs"
 	"rocksim/internal/trace"
 	"rocksim/internal/workload"
 )
@@ -27,6 +29,9 @@ func main() {
 	summary := flag.Bool("summary", false, "print a trace summary (instruction mix, footprint)")
 	wl := flag.String("workload", "", "run a built-in workload instead of a source file")
 	maxInsts := flag.Uint64("max", 500_000_000, "instruction budget")
+	metricsOut := flag.String("metrics", "", "write emulator counters and trace summary as flat JSON ('-' = stdout)")
+	chromeOut := flag.String("chrome-trace", "", "write a Chrome trace_event JSON with instruction-mix counter tracks (ts = instruction index)")
+	sampleEvery := flag.Uint64("sample-every", obs.DefaultSampleEvery, "instructions between counter samples in the Chrome trace")
 	flag.Parse()
 
 	var prog *asm.Program
@@ -57,13 +62,46 @@ func main() {
 
 	var buf bytes.Buffer
 	var col *trace.Collector
-	if *traceFile != "" || *summary {
+	if *traceFile != "" || *summary || *metricsOut != "" {
 		tw, err := trace.NewWriter(&buf)
 		if err != nil {
 			fatal(err)
 		}
 		col = &trace.Collector{W: tw, Emu: emu}
 		emu.Hook = col.Hook()
+	}
+
+	// The Chrome trace of a functional run has no cycles; it exports the
+	// running instruction mix as counter tracks over instruction index.
+	var ctr *obs.Trace
+	if *chromeOut != "" {
+		ctr = obs.NewTrace()
+		every := *sampleEvery
+		if every < 1 {
+			every = 1
+		}
+		var next uint64
+		var loads, stores, branches uint64
+		inner := emu.Hook
+		emu.Hook = func(pc uint64, in isa.Inst) {
+			if inner != nil {
+				inner(pc, in)
+			}
+			switch {
+			case in.Op.IsLoad():
+				loads++
+			case in.Op.IsStore():
+				stores++
+			case in.Op.Class() == isa.ClassBranch:
+				branches++
+			}
+			if emu.Executed >= next {
+				next = emu.Executed + every
+				ctr.CounterSample(emu.Executed, "emu/loads", int64(loads))
+				ctr.CounterSample(emu.Executed, "emu/stores", int64(stores))
+				ctr.CounterSample(emu.Executed, "emu/branches", int64(branches))
+			}
+		}
 	}
 
 	if err := emu.Run(*maxInsts); err != nil {
@@ -89,7 +127,7 @@ func main() {
 			}
 			fmt.Printf("trace: %d records -> %s\n", col.W.Count(), *traceFile)
 		}
-		if *summary {
+		if *summary || *metricsOut != "" {
 			tr, err := trace.NewReader(bytes.NewReader(buf.Bytes()))
 			if err != nil {
 				fatal(err)
@@ -98,9 +136,60 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
-			fmt.Printf("mix: %.1f%% loads, %.1f%% stores, %.1f%% branches, %d atomics, %d long ops\n",
-				s.LoadPct(), s.StorePct(), s.BranchPct(), s.Atomics, s.LongOps)
-			fmt.Printf("data footprint: %d lines (%.1f KiB)\n", s.TouchedLines, float64(s.TouchedLines)*64/1024)
+			if *summary {
+				fmt.Printf("mix: %.1f%% loads, %.1f%% stores, %.1f%% branches, %d atomics, %d long ops\n",
+					s.LoadPct(), s.StorePct(), s.BranchPct(), s.Atomics, s.LongOps)
+				fmt.Printf("data footprint: %d lines (%.1f KiB)\n", s.TouchedLines, float64(s.TouchedLines)*64/1024)
+			}
+			if *metricsOut != "" {
+				writeMetrics(*metricsOut, emu, s)
+			}
+		}
+	}
+
+	if ctr != nil {
+		f := create(*chromeOut)
+		if err := ctr.WriteChrome(f); err != nil {
+			fatal(err)
+		}
+		closeOut(f)
+	}
+}
+
+// writeMetrics publishes the emulator's counters and the trace summary
+// into a registry and writes it as flat JSON.
+func writeMetrics(path string, emu *isa.Emulator, s trace.Summary) {
+	r := obs.NewRegistry()
+	r.Counter("emu/executed").Set(emu.Executed)
+	r.Counter("emu/insts").Set(s.Insts)
+	r.Counter("emu/loads").Set(s.Loads)
+	r.Counter("emu/stores").Set(s.Stores)
+	r.Counter("emu/branches").Set(s.Branches)
+	r.Counter("emu/atomics").Set(s.Atomics)
+	r.Counter("emu/long_ops").Set(s.LongOps)
+	r.Counter("emu/touched_lines").Set(s.TouchedLines)
+	f := create(path)
+	if err := r.WriteJSON(f); err != nil {
+		fatal(err)
+	}
+	closeOut(f)
+}
+
+func create(path string) *os.File {
+	if path == "-" {
+		return os.Stdout
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	return f
+}
+
+func closeOut(f *os.File) {
+	if f != os.Stdout {
+		if err := f.Close(); err != nil {
+			fatal(err)
 		}
 	}
 }

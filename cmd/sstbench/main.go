@@ -11,11 +11,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
 	"rocksim/internal/experiments"
+	"rocksim/internal/obs"
 	"rocksim/internal/workload"
 )
 
@@ -23,6 +25,8 @@ func main() {
 	exp := flag.String("exp", "all", "comma-separated experiment ids (T1, T2, F1..F16, T3) or 'all'")
 	scaleFlag := flag.String("scale", "full", "workload scale: test | full")
 	chart := flag.Bool("chart", false, "also render each figure as ASCII bar charts")
+	metricsOut := flag.String("metrics", "", "write per-experiment wall-clock and row counters as flat JSON ('-' = stdout)")
+	chromeOut := flag.String("chrome-trace", "", "write a Chrome trace_event JSON of per-experiment wall-clock spans (ts = µs since start)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
@@ -49,6 +53,15 @@ func main() {
 	}
 
 	r := experiments.NewRunner()
+	var reg *obs.Registry
+	if *metricsOut != "" {
+		reg = obs.NewRegistry()
+	}
+	var tr *obs.Trace
+	if *chromeOut != "" {
+		tr = obs.NewTrace()
+	}
+	t0 := time.Now()
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
 		start := time.Now()
@@ -57,10 +70,45 @@ func main() {
 			fmt.Fprintf(os.Stderr, "sstbench: %s: %v\n", id, err)
 			os.Exit(1)
 		}
+		elapsed := time.Since(start)
 		res.Fprint(os.Stdout)
 		if *chart {
 			res.FprintCharts(os.Stdout)
 		}
-		fmt.Printf("(%s regenerated in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		if reg != nil {
+			rows := 0
+			for _, t := range res.Tables {
+				rows += t.NumRows()
+			}
+			reg.Counter("bench/" + id + "/wall_ms").Set(uint64(elapsed.Milliseconds()))
+			reg.Counter("bench/" + id + "/rows").Set(uint64(rows))
+			reg.Counter("bench/" + id + "/tables").Set(uint64(len(res.Tables)))
+		}
+		if tr != nil {
+			tr.Span(uint64(start.Sub(t0).Microseconds()), uint64(time.Since(t0).Microseconds()), "experiment", id)
+		}
+		fmt.Printf("(%s regenerated in %v)\n\n", id, elapsed.Round(time.Millisecond))
+	}
+	if reg != nil {
+		writeOut(*metricsOut, reg.WriteJSON)
+	}
+	if tr != nil {
+		writeOut(*chromeOut, tr.WriteChrome)
+	}
+}
+
+func writeOut(path string, write func(w io.Writer) error) {
+	f := os.Stdout
+	if path != "-" {
+		var err error
+		if f, err = os.Create(path); err != nil {
+			fmt.Fprintln(os.Stderr, "sstbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+	}
+	if err := write(f); err != nil {
+		fmt.Fprintln(os.Stderr, "sstbench:", err)
+		os.Exit(1)
 	}
 }

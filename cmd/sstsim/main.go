@@ -10,13 +10,17 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"rocksim/internal/asm"
 	"rocksim/internal/core"
 	"rocksim/internal/inorder"
+	"rocksim/internal/obs"
 	"rocksim/internal/ooo"
 	"rocksim/internal/sim"
 	"rocksim/internal/stats"
@@ -26,7 +30,7 @@ import (
 func main() {
 	wl := flag.String("workload", "oltp", "built-in workload name, or 'all'")
 	asmFile := flag.String("asm", "", "assemble and run this RK64 source file instead of a built-in workload")
-	coreKind := flag.String("core", "sst", "core model: inorder | ooo-small | ooo-large | scout | sst-ea | sst")
+	coreKind := flag.String("core", "sst", "core model: inorder | ooo-small | ooo-large | scout | sst-ea | sst | all")
 	scaleFlag := flag.String("scale", "full", "workload scale: test | full")
 	dq := flag.Int("dq", -1, "override SST deferred-queue size")
 	ckpt := flag.Int("ckpt", -1, "override SST checkpoint count")
@@ -34,6 +38,10 @@ func main() {
 	memlat := flag.Int("memlat", -1, "override DRAM latency (cycles)")
 	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON report instead of text")
 	pipeview := flag.Uint64("pipeview", 0, "print a per-cycle pipeline trace for the first N cycles (SST-family cores only)")
+	metricsOut := flag.String("metrics", "", "write run metrics as flat JSON to this file ('-' = stdout)")
+	promOut := flag.String("prom", "", "write run metrics in Prometheus text format to this file")
+	chromeOut := flag.String("chrome-trace", "", "write a Chrome trace_event JSON file (chrome://tracing, Perfetto)")
+	sampleEvery := flag.Uint64("sample-every", obs.DefaultSampleEvery, "cycles between occupancy samples in timelines and trace counter tracks")
 	list := flag.Bool("list", false, "list workloads and core kinds, then exit")
 	flag.Parse()
 
@@ -53,10 +61,17 @@ func main() {
 		return
 	}
 
-	kind, err := sim.KindByName(*coreKind)
-	if err != nil {
-		fatal(err)
+	var kinds []sim.Kind
+	if *coreKind == "all" {
+		kinds = sim.Kinds
+	} else {
+		kind, err := sim.KindByName(*coreKind)
+		if err != nil {
+			fatal(err)
+		}
+		kinds = []sim.Kind{kind}
 	}
+	var err error
 	scale := workload.ScaleFull
 	if *scaleFlag == "test" {
 		scale = workload.ScaleTest
@@ -104,19 +119,129 @@ func main() {
 		specs = []*workload.Spec{w}
 	}
 
+	multi := len(specs)*len(kinds) > 1
+	wantMetrics := *metricsOut != "" || *promOut != "" || *jsonOut
+	allMetrics := make(map[string]*obs.Registry)
 	for _, w := range specs {
-		out, err := sim.Run(kind, w.Program, opts)
-		if err != nil {
-			fatal(err)
-		}
-		if *jsonOut {
-			if err := sim.NewReport(out).WriteJSON(os.Stdout); err != nil {
+		for _, kind := range kinds {
+			ropts := opts
+			if wantMetrics {
+				reg := obs.NewRegistry()
+				reg.SetSampleEvery(*sampleEvery)
+				ropts.Metrics = reg
+			}
+			var trace *obs.Trace
+			var col *obs.Collector
+			if *chromeOut != "" {
+				trace = obs.NewTrace()
+				col = obs.NewCollector(trace, ropts.Metrics)
+				col.SampleEvery = *sampleEvery
+				ropts.Sink = col
+			}
+			out, err := sim.Run(kind, w.Program, ropts)
+			if err != nil {
 				fatal(err)
 			}
-			continue
+			if col != nil {
+				col.Flush(out.Cycles)
+			}
+			runName := w.Name + "/" + kind.String()
+			if ropts.Metrics != nil {
+				allMetrics[runName] = ropts.Metrics
+			}
+			if trace != nil {
+				writeChromeTrace(suffixPath(*chromeOut, runName, multi), trace)
+			}
+			if *jsonOut {
+				if err := sim.NewReport(out).WriteJSON(os.Stdout); err != nil {
+					fatal(err)
+				}
+				continue
+			}
+			report(w, out)
 		}
-		report(w, out)
 	}
+	if *metricsOut != "" {
+		writeMetricsJSON(*metricsOut, allMetrics, multi)
+	}
+	if *promOut != "" {
+		writeMetricsProm(*promOut, allMetrics)
+	}
+}
+
+// suffixPath inserts "-<run>" before path's extension when a run is one
+// of several, so each run gets its own trace file.
+func suffixPath(path, run string, multi bool) string {
+	if !multi {
+		return path
+	}
+	run = strings.NewReplacer("/", "-", " ", "_", ".", "_").Replace(run)
+	ext := filepath.Ext(path)
+	return strings.TrimSuffix(path, ext) + "-" + run + ext
+}
+
+func create(path string) *os.File {
+	if path == "-" {
+		return os.Stdout
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	return f
+}
+
+func closeOut(f *os.File) {
+	if f != os.Stdout {
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func writeChromeTrace(path string, tr *obs.Trace) {
+	f := create(path)
+	if err := tr.WriteChrome(f); err != nil {
+		fatal(err)
+	}
+	closeOut(f)
+}
+
+// writeMetricsJSON writes a single run's snapshot as a flat object, or
+// several runs as a "workload/kind"-keyed map.
+func writeMetricsJSON(path string, m map[string]*obs.Registry, multi bool) {
+	f := create(path)
+	var err error
+	if multi {
+		snaps := make(map[string]obs.Snapshot, len(m))
+		for name, reg := range m {
+			snaps[name] = reg.Snapshot()
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		err = enc.Encode(snaps)
+	} else {
+		for _, reg := range m {
+			err = reg.WriteJSON(f)
+		}
+	}
+	if err != nil {
+		fatal(err)
+	}
+	closeOut(f)
+}
+
+func writeMetricsProm(path string, m map[string]*obs.Registry) {
+	f := create(path)
+	for _, name := range stats.SortedKeys(m) {
+		if len(m) > 1 {
+			fmt.Fprintf(f, "# run: %s\n", name)
+		}
+		if err := m[name].WriteProm(f); err != nil {
+			fatal(err)
+		}
+	}
+	closeOut(f)
 }
 
 func report(w *workload.Spec, out sim.Outcome) {

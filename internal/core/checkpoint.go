@@ -16,6 +16,7 @@ func (c *Core) takeCheckpoint(pc uint64) bool {
 	ck := checkpoint{
 		startSeq:   c.seq,
 		pc:         pc,
+		takenAt:    c.cycle,
 		regs:       c.regs,
 		na:         c.na,
 		lastWriter: c.lastWriter,
@@ -25,7 +26,10 @@ func (c *Core) takeCheckpoint(pc uint64) bool {
 	}
 	c.ckpts = append(c.ckpts, ck)
 	c.stats.CheckpointsTaken++
-	c.probeEvent("checkpoint", fmt.Sprintf("pc=%#x seq=%d live=%d", pc, c.seq, len(c.ckpts)))
+	if c.sink != nil {
+		c.sink.SpanBegin(c.cycle, "checkpoint", "ckpt", ck.startSeq)
+		c.sink.Event(c.cycle, "checkpoint", "checkpoint", fmt.Sprintf("pc=%#x seq=%d live=%d", pc, c.seq, len(c.ckpts)))
+	}
 	return true
 }
 
@@ -91,9 +95,13 @@ func (c *Core) commitEpochs(now uint64) {
 			}
 		}
 		c.readSet = rs
+		c.stats.CkptLife.Add(int(now - c.ckpts[0].takenAt))
+		if c.sink != nil {
+			c.sink.SpanEnd(now, "checkpoint", c.ckpts[0].startSeq)
+			c.sink.Event(now, "checkpoint", "commit", fmt.Sprintf("epoch boundary seq=%d", boundary))
+		}
 		c.ckpts = c.ckpts[1:]
 		c.stats.EpochCommits++
-		c.probeEvent("commit", fmt.Sprintf("epoch boundary seq=%d", boundary))
 	}
 	// Everything committed: back to normal operation.
 	c.mode = ModeNormal
@@ -130,6 +138,12 @@ func (c *Core) rollback(idx int, now uint64, cause RollbackCause) {
 	c.m.Pred.SetHistory(ck.ghr)
 	c.stats.DiscardedInsts += c.processed - ck.processed
 	c.processed = ck.processed
+	for i := idx; i < len(c.ckpts); i++ {
+		c.stats.CkptLife.Add(int(now - c.ckpts[i].takenAt))
+		if c.sink != nil {
+			c.sink.SpanEnd(now, "checkpoint", c.ckpts[i].startSeq)
+		}
+	}
 	c.ckpts = c.ckpts[:idx]
 
 	// Squash speculative state younger than the checkpoint.
@@ -176,7 +190,9 @@ func (c *Core) rollback(idx int, now uint64, cause RollbackCause) {
 	}
 	c.stats.Rollbacks++
 	c.stats.RollbacksBy[cause]++
-	c.probeEvent("rollback", fmt.Sprintf("cause=%v to pc=%#x", cause, ck.pc))
+	if c.sink != nil {
+		c.sink.Event(now, "checkpoint", "rollback", fmt.Sprintf("cause=%v to pc=%#x", cause, ck.pc))
+	}
 	c.forceProgress = true
 	c.forceProgressPC = ck.pc
 	c.fe.Redirect(ck.pc, now, c.cfg.RollbackPenalty)
@@ -191,7 +207,9 @@ func (c *Core) enterScout() {
 	}
 	c.mode = ModeScout
 	c.stats.ScoutEntries++
-	c.probeEvent("scout", "deferral impossible: prefetch-only mode")
+	if c.sink != nil {
+		c.sink.Event(c.cycle, "mode", "scout", "deferral impossible: prefetch-only mode")
+	}
 	c.armScoutTrigger()
 }
 

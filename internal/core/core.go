@@ -26,8 +26,13 @@ package core
 import (
 	"rocksim/internal/cpu"
 	"rocksim/internal/isa"
+	"rocksim/internal/obs"
 	"rocksim/internal/stats"
 )
+
+// ckptLifeLimit bounds the checkpoint-lifetime histogram; longer
+// lifetimes clamp into the overflow bucket.
+const ckptLifeLimit = 4096
 
 // Config parameterizes the SST core.
 type Config struct {
@@ -235,9 +240,10 @@ type Stats struct {
 	// built on the checkpoint/SSB machinery).
 	Tx TxStats
 
-	DQOcc   *stats.Hist // deferred-queue occupancy per cycle
-	SSBOcc  *stats.Hist // store-buffer occupancy per cycle
-	CkptOcc *stats.Hist // live checkpoints per cycle
+	DQOcc    *stats.Hist // deferred-queue occupancy per cycle
+	SSBOcc   *stats.Hist // store-buffer occupancy per cycle
+	CkptOcc  *stats.Hist // live checkpoints per cycle
+	CkptLife *stats.Hist // checkpoint lifetime (cycles from take to commit/abort)
 }
 
 // checkpoint snapshots everything needed to restart execution at the
@@ -245,6 +251,7 @@ type Stats struct {
 type checkpoint struct {
 	startSeq   uint64 // seq of the triggering instruction
 	pc         uint64 // its PC (rollback target)
+	takenAt    uint64 // cycle the checkpoint was taken (lifetime accounting)
 	regs       [isa.NumRegs]int64
 	na         [isa.NumRegs]bool
 	lastWriter [isa.NumRegs]uint64
@@ -345,8 +352,10 @@ type Core struct {
 	tx         txState
 	txListener bool
 
-	// probe, when set, observes cycles and events (see probe.go).
-	probe Probe
+	// sink, when set, observes cycles and events (see probe.go and
+	// internal/obs); occ is its per-cycle scratch buffer.
+	sink obs.Sink
+	occ  [4]int
 
 	done  bool
 	err   error
@@ -379,6 +388,7 @@ func New(m *cpu.Machine, cfg Config, entry uint64) *Core {
 	c.stats.DQOcc = stats.NewHist(max(cfg.DQSize, 1))
 	c.stats.SSBOcc = stats.NewHist(max(cfg.SSBSize, 1))
 	c.stats.CkptOcc = stats.NewHist(max(cfg.Checkpoints, 1))
+	c.stats.CkptLife = stats.NewHist(ckptLifeLimit)
 	return c
 }
 
@@ -454,8 +464,9 @@ func (c *Core) Step() {
 	}
 
 	c.classifyCycle(executed, replayed)
-	if c.probe != nil {
-		c.probe.CycleState(now, c.mode, executed, replayed, len(c.dq), len(c.ssb), len(c.ckpts), len(c.pend))
+	if c.sink != nil {
+		c.occ[0], c.occ[1], c.occ[2], c.occ[3] = len(c.dq), len(c.ssb), len(c.ckpts), len(c.pend)
+		c.sink.CycleState(now, c.mode.String(), executed, replayed, c.occ[:])
 	}
 	c.stats.SampleMLP(c.m.Hier.OutstandingDataMisses(c.m.CoreID, now))
 	c.stats.DQOcc.Add(len(c.dq))

@@ -111,7 +111,10 @@ func (c *Core) aheadTx(in isa.Inst, pc uint64, seq uint64, now uint64) (cont, re
 		}
 		c.write(in.Rd, 0, now+1, seq)
 		c.stats.Tx.Begins++
-		c.probeEvent("txbegin", fmt.Sprintf("pc=%#x", pc))
+		if c.sink != nil {
+			c.sink.SpanBegin(now, "tx", "tx", seq)
+			c.sink.Event(now, "tx", "txbegin", fmt.Sprintf("pc=%#x", pc))
+		}
 		return true, false
 	}
 	// txcommit.
@@ -121,10 +124,13 @@ func (c *Core) aheadTx(in isa.Inst, pc uint64, seq uint64, now uint64) (cont, re
 	// Wait for in-flight reads to settle (scoreboarded misses resolve
 	// by time; nothing else is outstanding in normal mode).
 	c.drainSSB(^uint64(0), now)
+	if c.sink != nil {
+		c.sink.SpanEnd(now, "tx", c.tx.startSeq)
+		c.sink.Event(now, "tx", "txcommit", "stores published")
+	}
 	c.tx.active = false
 	c.tx.reads = nil
 	c.stats.Tx.Commits++
-	c.probeEvent("txcommit", "stores published")
 	return true, false
 }
 
@@ -152,10 +158,13 @@ func (c *Core) txAbort(now uint64) {
 	}
 	c.ssb = ssb
 	handler, rd := c.tx.handler, c.tx.rd
+	if c.sink != nil {
+		c.sink.SpanEnd(now, "tx", c.tx.startSeq)
+		c.sink.Event(now, "tx", "txabort", fmt.Sprintf("code=%d", code))
+	}
 	c.tx = txState{}
 	c.write(rd, code, now+1, c.seq)
 	c.stats.Tx.Aborts++
-	c.probeEvent("txabort", fmt.Sprintf("code=%d", code))
 	if code >= 0 && int(code) < len(c.stats.Tx.AbortsByCode) {
 		c.stats.Tx.AbortsByCode[code]++
 	}

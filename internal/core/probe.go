@@ -4,11 +4,17 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"rocksim/internal/obs"
 )
 
 // Probe observes the SST core cycle by cycle, for pipeline visualization
 // and debugging. All hooks are optional-cost: nothing is computed when
 // no probe is installed.
+//
+// Probe predates the unified observability layer; it is kept for
+// backward compatibility and routed through an obs.Sink adapter (see
+// ProbeSink). New instrumentation should use SetSink directly.
 type Probe interface {
 	// CycleState is called at the end of every cycle with the mode and
 	// per-strand progress.
@@ -17,13 +23,60 @@ type Probe interface {
 	Event(now uint64, kind, detail string)
 }
 
-// SetProbe installs (or clears, with nil) the core's probe.
-func (c *Core) SetProbe(p Probe) { c.probe = p }
+// sstOccNames names the occupancy channels the SST core reports to its
+// sink, in CycleState occ order.
+var sstOccNames = []string{"dq", "ssb", "ckpts", "pend"}
 
-func (c *Core) probeEvent(kind, detail string) {
-	if c.probe != nil {
-		c.probe.Event(c.cycle, kind, detail)
+// SetSink installs (or clears, with nil) the core's observability sink.
+func (c *Core) SetSink(s obs.Sink) {
+	c.sink = s
+	if s != nil {
+		s.Attach("sst", sstOccNames)
 	}
+}
+
+// Sink returns the installed sink (nil when observation is disabled).
+func (c *Core) Sink() obs.Sink { return c.sink }
+
+// SetProbe installs (or clears, with nil) a legacy probe, routed through
+// the obs.Sink adapter.
+func (c *Core) SetProbe(p Probe) {
+	if p == nil {
+		c.SetSink(nil)
+		return
+	}
+	c.SetSink(ProbeSink(p))
+}
+
+// ProbeSink adapts a legacy Probe to the obs.Sink interface: cycle
+// state and instantaneous events are forwarded, span traffic is dropped
+// (the probe API has no notion of durations).
+func ProbeSink(p Probe) obs.Sink { return probeSink{p} }
+
+type probeSink struct{ p Probe }
+
+func (s probeSink) Attach(string, []string) {}
+
+func (s probeSink) CycleState(now uint64, mode string, executed, replayed int, occ []int) {
+	var o [4]int
+	copy(o[:], occ)
+	s.p.CycleState(now, modeByName(mode), executed, replayed, o[0], o[1], o[2], o[3])
+}
+
+func (s probeSink) Event(now uint64, cat, name, detail string) { s.p.Event(now, name, detail) }
+
+func (s probeSink) SpanBegin(uint64, string, string, uint64) {}
+func (s probeSink) SpanEnd(uint64, string, uint64)           {}
+func (s probeSink) Span(uint64, uint64, string, string)      {}
+
+func modeByName(s string) Mode {
+	switch s {
+	case "spec":
+		return ModeSpec
+	case "scout":
+		return ModeScout
+	}
+	return ModeNormal
 }
 
 // PipeView is a Probe that renders a compact one-line-per-cycle pipeline
@@ -41,11 +94,16 @@ type PipeView struct {
 	OnlyEvents bool
 
 	lines uint64
+	done  bool // cap reached: short-circuit all further work
 }
 
 // CycleState implements Probe.
 func (v *PipeView) CycleState(now uint64, mode Mode, executed, replayed, dq, ssb, ckpts, pend int) {
-	if v.OnlyEvents || (v.MaxCycles > 0 && now >= v.MaxCycles) {
+	if v.done || v.OnlyEvents {
+		return
+	}
+	if v.MaxCycles > 0 && now >= v.MaxCycles {
+		v.done = true
 		return
 	}
 	bar := func(n, width int) string {
@@ -62,7 +120,11 @@ func (v *PipeView) CycleState(now uint64, mode Mode, executed, replayed, dq, ssb
 
 // Event implements Probe.
 func (v *PipeView) Event(now uint64, kind, detail string) {
+	if v.done {
+		return
+	}
 	if v.MaxCycles > 0 && now >= v.MaxCycles {
+		v.done = true
 		return
 	}
 	fmt.Fprintf(v.W, "%8d * %-10s %s\n", now, kind, detail)

@@ -13,6 +13,7 @@ import (
 
 	"rocksim/internal/bpred"
 	"rocksim/internal/mem"
+	"rocksim/internal/obs"
 )
 
 // Core is one simulated processor core advanced cycle by cycle.
@@ -87,6 +88,29 @@ func (s *BaseStats) SampleMLP(outstanding int) {
 		s.MLPSamples++
 		s.MLPSum += uint64(outstanding)
 	}
+}
+
+// PublishObs publishes the common per-core counter set into the
+// registry. It also creates the uniform checkpoint/DQ metrics at zero so
+// that every core model — speculative or not — exports the same core
+// set; checkpointed cores overwrite them with real figures.
+func (s *BaseStats) PublishObs(r *obs.Registry) {
+	r.Counter("core/cycles").Set(s.Cycles)
+	r.Counter("core/insts").Set(s.Retired)
+	r.Counter("core/loads").Set(s.Loads)
+	r.Counter("core/stores").Set(s.Stores)
+	r.Counter("core/load_l1_hits").Set(s.LoadL1Hits)
+	r.Counter("core/load_l2_hits").Set(s.LoadL2Hits)
+	r.Counter("core/load_mem_hits").Set(s.LoadMemHits)
+	r.Counter("core/branches").Set(s.Branches)
+	r.Counter("core/branch_mispredicts").Set(s.BranchMispred)
+	r.Counter("core/mlp_samples").Set(s.MLPSamples)
+	r.Counter("core/mlp_sum").Set(s.MLPSum)
+	// Uniform cross-model placeholders (see doc comment).
+	r.Counter("core/checkpoints_taken")
+	r.Counter("core/checkpoints_committed")
+	r.Counter("core/checkpoints_aborted")
+	r.Gauge("core/dq_highwater")
 }
 
 // Machine is the per-core execution context handed to a core model.

@@ -10,6 +10,7 @@ import (
 	"rocksim/internal/cpu"
 	"rocksim/internal/isa"
 	"rocksim/internal/mem"
+	"rocksim/internal/obs"
 )
 
 // Config parameterizes the in-order core.
@@ -59,6 +60,20 @@ type Stats struct {
 	StallCycles [numStalls]uint64
 }
 
+// stallNames label StallCycles entries in exports (index = StallKind).
+var stallNames = [numStalls]string{
+	"none", "fetch", "redirect", "data", "load_limit", "store_buffer",
+}
+
+// PublishObs publishes the common core counter set plus the in-order
+// stall breakdown under "inorder/".
+func (s *Stats) PublishObs(r *obs.Registry) {
+	s.BaseStats.PublishObs(r)
+	for k := StallKind(1); k < numStalls; k++ {
+		r.Counter("inorder/stall/" + stallNames[k]).Set(s.StallCycles[k])
+	}
+}
+
 // Core is the in-order pipeline model.
 type Core struct {
 	cfg Config
@@ -76,6 +91,19 @@ type Core struct {
 	err   error
 
 	stats Stats
+	sink  obs.Sink
+	occ   [2]int
+}
+
+// inorderOccNames are the occupancy tracks reported through the sink.
+var inorderOccNames = []string{"loads_inflight", "store_buffer"}
+
+// SetSink installs an observability sink (nil disables).
+func (c *Core) SetSink(s obs.Sink) {
+	c.sink = s
+	if s != nil {
+		s.Attach("inorder", inorderOccNames)
+	}
 }
 
 // New creates an in-order core executing from entry.
@@ -254,6 +282,10 @@ issueLoop:
 		c.stats.StallCycles[stall]++
 	}
 	c.stats.SampleMLP(c.m.Hier.OutstandingDataMisses(c.m.CoreID, now))
+	if c.sink != nil {
+		c.occ[0], c.occ[1] = len(c.loadsInFlight), len(c.storeBuf)
+		c.sink.CycleState(now, "normal", issued, 0, c.occ[:])
+	}
 	c.stats.Cycles++
 	c.cycle++
 }

@@ -1,6 +1,10 @@
 package mem
 
-import "fmt"
+import (
+	"fmt"
+
+	"rocksim/internal/obs"
+)
 
 // CacheConfig describes one set-associative cache.
 type CacheConfig struct {
@@ -50,6 +54,17 @@ func (s CacheStats) MissRate() float64 {
 		return 0
 	}
 	return float64(s.Misses) / float64(t)
+}
+
+// PublishObs publishes the cache's counters under name (e.g. "mem/l1d").
+func (c *Cache) PublishObs(r *obs.Registry, name string) {
+	s := c.Stats
+	r.Counter(name + "/hits").Set(s.Hits)
+	r.Counter(name + "/misses").Set(s.Misses)
+	r.Counter(name + "/fills").Set(s.Fills)
+	r.Counter(name + "/evictions").Set(s.Evictions)
+	r.Counter(name + "/writebacks").Set(s.Writebacks)
+	r.Counter(name + "/invals").Set(s.Invals)
 }
 
 type cacheLine struct {

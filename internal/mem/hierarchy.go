@@ -1,6 +1,11 @@
 package mem
 
-import "fmt"
+import (
+	"fmt"
+
+	"rocksim/internal/obs"
+	"rocksim/internal/stats"
+)
 
 // Level identifies where in the hierarchy an access was satisfied.
 type Level uint8
@@ -105,7 +110,22 @@ type Hierarchy struct {
 	l2BankFree []uint64
 	dram       *DRAM
 	Stats      HierStats
+
+	// latD and latI record demand-miss latencies (data and fetch) for
+	// percentile reporting. Always allocated: a per-miss Add is far off
+	// the per-cycle path.
+	latD *stats.Hist
+	latI *stats.Hist
+
+	// sink observes miss intervals; missNames interns the span names per
+	// (core, port, level) so the enabled path allocates nothing per miss.
+	sink      obs.Sink
+	missNames [][2][3]string
 }
+
+// missLatLimit bounds the miss-latency histograms (cycles); longer
+// misses clamp into the overflow bucket but keep exact mean/max.
+const missLatLimit = 2048
 
 // NewHierarchy builds a hierarchy serving ncores cores.
 func NewHierarchy(cfg HierConfig, ncores int) (*Hierarchy, error) {
@@ -129,6 +149,8 @@ func NewHierarchy(cfg HierConfig, ncores int) (*Hierarchy, error) {
 		l2mshr:     NewMSHR(cfg.L2.MSHRs),
 		l2BankFree: make([]uint64, cfg.L2Banks),
 		dram:       NewDRAM(cfg.DRAM, cfg.L2.LineBytes),
+		latD:       stats.NewHist(missLatLimit),
+		latI:       stats.NewHist(missLatLimit),
 	}
 	h.salts = make([]uint64, ncores)
 	h.listeners = make([]func(line uint64), ncores)
@@ -150,6 +172,59 @@ func NewHierarchy(cfg HierConfig, ncores int) (*Hierarchy, error) {
 
 // Config returns the hierarchy configuration.
 func (h *Hierarchy) Config() HierConfig { return h.cfg }
+
+// SetSink installs an observability sink receiving one completed span per
+// demand miss (category "memory"). It pre-interns every span name so the
+// enabled path stays allocation-free.
+func (h *Hierarchy) SetSink(s obs.Sink) {
+	h.sink = s
+	if s == nil {
+		return
+	}
+	h.missNames = make([][2][3]string, len(h.cores))
+	for i := range h.missNames {
+		prefix := ""
+		if len(h.cores) > 1 {
+			prefix = fmt.Sprintf("core%d ", i)
+		}
+		for port, pn := range [2]string{"L1D", "L1I"} {
+			h.missNames[i][port] = [3]string{
+				prefix + pn + " miss", // unreachable: misses resolve in L2 or DRAM
+				prefix + pn + " miss->L2",
+				prefix + pn + " miss->DRAM",
+			}
+		}
+	}
+}
+
+// LoadMissLatency returns the demand data-miss latency histogram.
+func (h *Hierarchy) LoadMissLatency() *stats.Hist { return h.latD }
+
+// FetchMissLatency returns the instruction-miss latency histogram.
+func (h *Hierarchy) FetchMissLatency() *stats.Hist { return h.latI }
+
+// PublishObs publishes every cache level, DRAM and hierarchy-wide
+// counters plus the miss-latency histograms. Single-core hierarchies use
+// the flat "mem/l1d" names; CMP hierarchies add a per-core component.
+func (h *Hierarchy) PublishObs(r *obs.Registry) {
+	for i := range h.cores {
+		prefix := "mem/"
+		if len(h.cores) > 1 {
+			prefix = fmt.Sprintf("mem/core%d/", i)
+		}
+		h.cores[i].l1d.PublishObs(r, prefix+"l1d")
+		h.cores[i].l1i.PublishObs(r, prefix+"l1i")
+	}
+	h.l2.PublishObs(r, "mem/l2")
+	r.Counter("mem/dram/reads").Set(h.dram.Stats.Reads)
+	r.Counter("mem/dram/writes").Set(h.dram.Stats.Writes)
+	r.Counter("mem/dram/bank_conflicts").Set(h.dram.Stats.BankConflicts)
+	r.Counter("mem/dram/busy_cycles").Set(h.dram.Stats.BusyCycles)
+	r.Counter("mem/coherence_invals").Set(h.Stats.CoherenceInvals)
+	r.Counter("mem/prefetches").Set(h.Stats.Prefetches)
+	r.PutHist("mem/load_miss_latency", h.latD)
+	r.PutHist("mem/fetch_miss_latency", h.latI)
+}
 
 // NumCores returns the number of cores the hierarchy serves.
 func (h *Hierarchy) NumCores() int { return len(h.cores) }
@@ -269,6 +344,20 @@ func (h *Hierarchy) Access(core int, kind AccessKind, addr uint64, now uint64) R
 	h.handleL1Victim(ev, ready)
 	if kind == AccPrefetch {
 		h.Stats.Prefetches++
+	} else {
+		// Demand miss: record its latency, and its interval if observed.
+		if kind == AccFetch {
+			h.latI.Add(int(ready - now))
+		} else {
+			h.latD.Add(int(ready - now))
+		}
+		if h.sink != nil {
+			port := 0
+			if kind == AccFetch {
+				port = 1
+			}
+			h.sink.Span(now, ready, "memory", h.missNames[core][port][lvl])
+		}
 	}
 	return Result{Ready: ready, Level: lvl}
 }

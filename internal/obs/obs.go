@@ -1,0 +1,329 @@
+// Package obs is the unified observability layer shared by every core
+// model, the memory hierarchy and the simulation harness: a metrics
+// registry (counters, gauges, fixed-bucket histograms and cycle-sampled
+// timelines) plus exporters — a Chrome trace_event JSON writer whose
+// output loads in chrome://tracing and Perfetto, a flat JSON dump, and a
+// Prometheus-style text dump.
+//
+// The layer has two halves:
+//
+//   - a Registry of aggregate metrics, filled in by each model's
+//     PublishObs at the end of a run (and, for live histograms and
+//     timelines, during it);
+//   - a Sink event stream (see sink.go) that observes the run cycle by
+//     cycle: mode transitions, checkpoint lifetimes, memory-miss spans,
+//     queue occupancies.
+//
+// Both halves cost nothing when disabled: models guard every emission
+// with a nil check, and no registry is allocated unless a run asks for
+// one. Everything is deterministic — identical runs produce byte-
+// identical exports — so metrics files can be diffed across simulator
+// versions.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"rocksim/internal/stats"
+)
+
+// DefaultSampleEvery is the default decimation for cycle-sampled
+// timelines and Chrome counter tracks: one sample every N cycles.
+const DefaultSampleEvery = 64
+
+// Counter is a monotonically increasing count.
+type Counter struct {
+	name string
+	v    uint64
+}
+
+// Name returns the counter's registered name.
+func (c *Counter) Name() string { return c.name }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v }
+
+// Add increases the counter by n.
+func (c *Counter) Add(n uint64) { c.v += n }
+
+// Inc increases the counter by one.
+func (c *Counter) Inc() { c.v++ }
+
+// Set overwrites the counter (used when publishing an externally
+// accumulated total).
+func (c *Counter) Set(v uint64) { c.v = v }
+
+// Gauge is an instantaneous value with a high-water mark.
+type Gauge struct {
+	name string
+	v    int64
+	hi   int64
+}
+
+// Name returns the gauge's registered name.
+func (g *Gauge) Name() string { return g.name }
+
+// Value returns the last set value.
+func (g *Gauge) Value() int64 { return g.v }
+
+// High returns the high-water mark.
+func (g *Gauge) High() int64 { return g.hi }
+
+// Set records a new value, tracking the high-water mark.
+func (g *Gauge) Set(v int64) {
+	g.v = v
+	if v > g.hi {
+		g.hi = v
+	}
+}
+
+// Timeline is a cycle-sampled series: one (cycle, value) point every
+// SampleEvery cycles. It is the machine-readable companion of the Chrome
+// counter tracks.
+type Timeline struct {
+	name  string
+	every uint64
+	next  uint64
+	cyc   []uint64
+	val   []int64
+}
+
+// Name returns the timeline's registered name.
+func (t *Timeline) Name() string { return t.name }
+
+// Sample records v at cycle now if the decimation window has elapsed.
+func (t *Timeline) Sample(now uint64, v int64) {
+	if now < t.next {
+		return
+	}
+	t.next = now + t.every
+	t.cyc = append(t.cyc, now)
+	t.val = append(t.val, v)
+}
+
+// Len returns the number of recorded points.
+func (t *Timeline) Len() int { return len(t.cyc) }
+
+// Point returns the i-th sample.
+func (t *Timeline) Point(i int) (cycle uint64, v int64) { return t.cyc[i], t.val[i] }
+
+// Registry holds one run's metrics. It is not safe for concurrent use:
+// the simulator is single-threaded by design (determinism).
+type Registry struct {
+	sampleEvery uint64
+	counters    map[string]*Counter
+	gauges      map[string]*Gauge
+	hists       map[string]*stats.Hist
+	timelines   map[string]*Timeline
+}
+
+// NewRegistry returns an empty registry with the default sample rate.
+func NewRegistry() *Registry {
+	return &Registry{
+		sampleEvery: DefaultSampleEvery,
+		counters:    make(map[string]*Counter),
+		gauges:      make(map[string]*Gauge),
+		hists:       make(map[string]*stats.Hist),
+		timelines:   make(map[string]*Timeline),
+	}
+}
+
+// SetSampleEvery sets the timeline decimation (cycles per sample).
+// Values < 1 reset it to the default.
+func (r *Registry) SetSampleEvery(n uint64) {
+	if n < 1 {
+		n = DefaultSampleEvery
+	}
+	r.sampleEvery = n
+}
+
+// SampleEvery returns the timeline decimation.
+func (r *Registry) SampleEvery() uint64 { return r.sampleEvery }
+
+// Counter returns (creating if needed) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c := &Counter{name: name}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g := &Gauge{name: name}
+	r.gauges[name] = g
+	return g
+}
+
+// Hist returns (creating if needed) the named histogram tracking values
+// 0..limit (larger observations clamp into the overflow bucket).
+func (r *Registry) Hist(name string, limit int) *stats.Hist {
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	h := stats.NewHist(limit)
+	r.hists[name] = h
+	return h
+}
+
+// PutHist registers an externally owned histogram under name, merging
+// into any histogram already registered there. Models use this to
+// publish histograms they already maintain (queue occupancies) without
+// double-counting.
+func (r *Registry) PutHist(name string, h *stats.Hist) {
+	if h == nil {
+		return
+	}
+	if have, ok := r.hists[name]; ok {
+		have.Merge(h)
+		return
+	}
+	r.hists[name] = h
+}
+
+// Timeline returns (creating if needed) the named cycle-sampled series.
+func (r *Registry) Timeline(name string) *Timeline {
+	if t, ok := r.timelines[name]; ok {
+		return t
+	}
+	t := &Timeline{name: name, every: r.sampleEvery}
+	r.timelines[name] = t
+	return t
+}
+
+// HistSnap is the exported summary of one histogram.
+type HistSnap struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	Max   int     `json:"max"`
+	P50   int     `json:"p50"`
+	P95   int     `json:"p95"`
+	P99   int     `json:"p99"`
+}
+
+// GaugeSnap is the exported form of one gauge.
+type GaugeSnap struct {
+	Value int64 `json:"value"`
+	High  int64 `json:"high"`
+}
+
+// TimelineSnap is the exported form of one timeline.
+type TimelineSnap struct {
+	Every  uint64   `json:"every"`
+	Cycles []uint64 `json:"cycles"`
+	Values []int64  `json:"values"`
+}
+
+// Snapshot is the flat, deterministic export form of a Registry.
+// encoding/json sorts map keys, so marshaling a Snapshot is
+// byte-deterministic for identical runs.
+type Snapshot struct {
+	Counters   map[string]uint64       `json:"counters"`
+	Gauges     map[string]GaugeSnap    `json:"gauges,omitempty"`
+	Histograms map[string]HistSnap     `json:"histograms,omitempty"`
+	Timelines  map[string]TimelineSnap `json:"timelines,omitempty"`
+}
+
+// Snapshot flattens the registry.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{Counters: make(map[string]uint64, len(r.counters))}
+	for n, c := range r.counters {
+		s.Counters[n] = c.v
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]GaugeSnap, len(r.gauges))
+		for n, g := range r.gauges {
+			s.Gauges[n] = GaugeSnap{Value: g.v, High: g.hi}
+		}
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]HistSnap, len(r.hists))
+		for n, h := range r.hists {
+			s.Histograms[n] = HistSnap{
+				Count: h.Count(),
+				Mean:  h.Mean(),
+				Max:   h.Max(),
+				P50:   h.Quantile(0.50),
+				P95:   h.Quantile(0.95),
+				P99:   h.Quantile(0.99),
+			}
+		}
+	}
+	if len(r.timelines) > 0 {
+		s.Timelines = make(map[string]TimelineSnap, len(r.timelines))
+		for n, t := range r.timelines {
+			s.Timelines[n] = TimelineSnap{Every: t.every, Cycles: t.cyc, Values: t.val}
+		}
+	}
+	return s
+}
+
+// WriteJSON writes the registry as indented, deterministic JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// promName converts a metric name into a Prometheus-safe identifier.
+func promName(name string) string {
+	s := strings.NewReplacer("/", "_", "-", "_", ".", "_", " ", "_").Replace(name)
+	return "rocksim_" + s
+}
+
+// WriteProm writes the registry in Prometheus text exposition format.
+// Histograms export count/mean/max and the p50/p95/p99 quantiles as
+// separate gauges; timelines are omitted (they are series, not scrapes).
+func (r *Registry) WriteProm(w io.Writer) error {
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	for _, n := range sortedKeys(r.counters) {
+		pn := promName(n)
+		p("# TYPE %s counter\n%s %d\n", pn, pn, r.counters[n].v)
+	}
+	for _, n := range sortedKeys(r.gauges) {
+		g := r.gauges[n]
+		pn := promName(n)
+		p("# TYPE %s gauge\n%s %d\n%s_high %d\n", pn, pn, g.v, pn, g.hi)
+	}
+	for _, n := range sortedKeys(r.hists) {
+		h := r.hists[n]
+		pn := promName(n)
+		p("# TYPE %s summary\n", pn)
+		p("%s_count %d\n", pn, h.Count())
+		p("%s_mean %g\n", pn, h.Mean())
+		p("%s_max %d\n", pn, h.Max())
+		p("%s{quantile=\"0.5\"} %d\n", pn, h.Quantile(0.50))
+		p("%s{quantile=\"0.95\"} %d\n", pn, h.Quantile(0.95))
+		p("%s{quantile=\"0.99\"} %d\n", pn, h.Quantile(0.99))
+	}
+	return err
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// Source is implemented by every model (cores, statistics blocks, cache
+// levels, the hierarchy) that can publish its counters into a Registry.
+type Source interface {
+	PublishObs(r *Registry)
+}

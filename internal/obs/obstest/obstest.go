@@ -1,0 +1,79 @@
+// Package obstest provides shared assertions for the Chrome trace_event
+// exporter, used by the obs unit tests and the sim integration tests.
+package obstest
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// ChromeFile mirrors the exporter's output shape for decoding in tests.
+type ChromeFile struct {
+	TraceEvents []ChromeEvent `json:"traceEvents"`
+}
+
+// ChromeEvent is one decoded trace_event record.
+type ChromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   uint64         `json:"ts"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+// CheckChrome decodes a Chrome trace and asserts the exporter's
+// contract: valid JSON, monotonically non-decreasing ts (metadata
+// aside), and balanced, properly nested B/E pairs per tid. It returns
+// the set of span/instant categories seen.
+func CheckChrome(t testing.TB, data []byte) map[string]bool {
+	t.Helper()
+	var f ChromeFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(f.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+	cats := map[string]bool{}
+	var lastTS uint64
+	haveTS := false
+	depth := map[int]int{}      // per-tid open-span depth
+	stack := map[int][]string{} // per-tid open-span names, for nesting
+	for i, e := range f.TraceEvents {
+		if e.Ph == "M" {
+			continue
+		}
+		if haveTS && e.Ts < lastTS {
+			t.Errorf("event %d (%s %q): ts %d < previous %d", i, e.Ph, e.Name, e.Ts, lastTS)
+		}
+		lastTS, haveTS = e.Ts, true
+		if e.Cat != "" {
+			cats[e.Cat] = true
+		}
+		switch e.Ph {
+		case "B":
+			depth[e.Tid]++
+			stack[e.Tid] = append(stack[e.Tid], e.Name)
+		case "E":
+			depth[e.Tid]--
+			if depth[e.Tid] < 0 {
+				t.Fatalf("event %d: E without matching B on tid %d", i, e.Tid)
+			}
+			s := stack[e.Tid]
+			if top := s[len(s)-1]; top != e.Name {
+				t.Errorf("event %d: E %q closes B %q on tid %d (mis-nested)", i, e.Name, top, e.Tid)
+			}
+			stack[e.Tid] = s[:len(s)-1]
+		case "i", "C":
+		default:
+			t.Errorf("event %d: unexpected ph %q", i, e.Ph)
+		}
+	}
+	for tid, d := range depth {
+		if d != 0 {
+			t.Errorf("tid %d: %d unclosed B events", tid, d)
+		}
+	}
+	return cats
+}

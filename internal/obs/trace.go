@@ -1,0 +1,267 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Trace accumulates microarchitectural events for export in the Chrome
+// trace_event JSON format (load the file in chrome://tracing or
+// https://ui.perfetto.dev). Simulated cycles are written as microsecond
+// timestamps, so one trace "µs" is one core cycle.
+//
+// Three event shapes are supported:
+//
+//   - spans — durations such as mode residency, checkpoint lifetimes
+//     and memory-miss latencies, exported as balanced B/E pairs. Spans
+//     of one category that overlap in time are spread across lanes
+//     (trace threads) so the viewer never sees mis-nested B/E pairs;
+//   - instants — point events (rollbacks, scout entries, tx aborts);
+//   - counter samples — numeric tracks (queue occupancies), exported as
+//     "C" events.
+type Trace struct {
+	spans    []span
+	open     map[spanKey]int // index into spans with end unset
+	instants []instant
+	samples  []counterSample
+}
+
+type spanKey struct {
+	cat string
+	id  uint64
+}
+
+type span struct {
+	cat, name  string
+	start, end uint64
+	closed     bool
+	seq        int // insertion order, for deterministic sorting
+}
+
+type instant struct {
+	ts        uint64
+	cat, name string
+	detail    string
+	seq       int
+}
+
+type counterSample struct {
+	ts   uint64
+	name string
+	v    int64
+	seq  int
+}
+
+// NewTrace returns an empty trace buffer.
+func NewTrace() *Trace {
+	return &Trace{open: make(map[spanKey]int)}
+}
+
+func (t *Trace) nextSeq() int {
+	return len(t.spans) + len(t.instants) + len(t.samples)
+}
+
+// Begin opens a span identified by (cat, id). A Begin for an id that is
+// already open is ignored.
+func (t *Trace) Begin(now uint64, cat, name string, id uint64) {
+	k := spanKey{cat, id}
+	if _, ok := t.open[k]; ok {
+		return
+	}
+	t.open[k] = len(t.spans)
+	t.spans = append(t.spans, span{cat: cat, name: name, start: now, seq: t.nextSeq()})
+}
+
+// End closes the span opened under (cat, id). Ends without a matching
+// Begin are ignored.
+func (t *Trace) End(now uint64, cat string, id uint64) {
+	k := spanKey{cat, id}
+	i, ok := t.open[k]
+	if !ok {
+		return
+	}
+	delete(t.open, k)
+	t.spans[i].end = now
+	t.spans[i].closed = true
+}
+
+// Span records a completed interval [start, end).
+func (t *Trace) Span(start, end uint64, cat, name string) {
+	t.spans = append(t.spans, span{cat: cat, name: name, start: start, end: end, closed: true, seq: t.nextSeq()})
+}
+
+// Instant records a point event.
+func (t *Trace) Instant(ts uint64, cat, name, detail string) {
+	t.instants = append(t.instants, instant{ts: ts, cat: cat, name: name, detail: detail, seq: t.nextSeq()})
+}
+
+// CounterSample records one point of a numeric track.
+func (t *Trace) CounterSample(ts uint64, name string, v int64) {
+	t.samples = append(t.samples, counterSample{ts: ts, name: name, v: v, seq: t.nextSeq()})
+}
+
+// CloseOpen closes every still-open span at the given end time (used at
+// the end of a run for checkpoints that never committed).
+func (t *Trace) CloseOpen(end uint64) {
+	for k, i := range t.open {
+		t.spans[i].end = end
+		t.spans[i].closed = true
+		delete(t.open, k)
+	}
+}
+
+// Events returns the number of buffered events (for tests and sizing).
+func (t *Trace) Events() int { return len(t.spans) + len(t.instants) + len(t.samples) }
+
+// chromeEvent is one trace_event record.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   uint64         `json:"ts"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// instantsTid is the trace thread carrying point events; span lanes are
+// numbered from laneBase upward, one block of lanes per category.
+const (
+	instantsTid = 0
+	laneBase    = 1
+)
+
+// WriteChrome writes the trace in Chrome trace_event JSON object format.
+// Guarantees (asserted by the exporter tests): the output is valid JSON;
+// ts is monotonically non-decreasing across the traceEvents array
+// (metadata aside); every B has a matching E on the same tid, properly
+// nested because overlapping spans of one category are assigned to
+// distinct lanes.
+func (t *Trace) WriteChrome(w io.Writer) error {
+	// Deterministic span order: by start cycle, then insertion order.
+	spans := make([]span, 0, len(t.spans))
+	for _, s := range t.spans {
+		if s.closed {
+			if s.end <= s.start {
+				s.end = s.start + 1 // avoid zero-length B/E pairs
+			}
+			spans = append(spans, s)
+		}
+	}
+	sort.SliceStable(spans, func(i, j int) bool {
+		if spans[i].start != spans[j].start {
+			return spans[i].start < spans[j].start
+		}
+		return spans[i].seq < spans[j].seq
+	})
+
+	// Assign lanes: per category, the lowest lane free at span start.
+	// Category lane blocks are allocated in order of first appearance,
+	// growing as concurrency demands.
+	type catLanes struct {
+		base int
+		busy []uint64 // per-lane busy-until
+	}
+	cats := map[string]*catLanes{}
+	catOrder := []string{}
+	nextTid := laneBase
+	laneOf := make([]int, len(spans))
+	// Two passes: first size each category's lane count, then assign
+	// contiguous tid blocks. Pass one computes lanes per category.
+	laneCount := map[string]int{}
+	{
+		busyByCat := map[string][]uint64{}
+		for i, s := range spans {
+			busy := busyByCat[s.cat]
+			lane := -1
+			for l, until := range busy {
+				if until <= s.start {
+					lane = l
+					break
+				}
+			}
+			if lane == -1 {
+				lane = len(busy)
+				busy = append(busy, 0)
+			}
+			busy[lane] = s.end
+			busyByCat[s.cat] = busy
+			laneOf[i] = lane
+			if lane+1 > laneCount[s.cat] {
+				laneCount[s.cat] = lane + 1
+			}
+			if _, ok := cats[s.cat]; !ok {
+				cats[s.cat] = &catLanes{}
+				catOrder = append(catOrder, s.cat)
+			}
+		}
+	}
+	for _, c := range catOrder {
+		cats[c].base = nextTid
+		nextTid += laneCount[c]
+	}
+
+	type tsEvent struct {
+		ev   chromeEvent
+		ts   uint64
+		rank int // at equal ts: E(0) before B(1) before i/C(2)
+		seq  int
+	}
+	evs := make([]tsEvent, 0, 2*len(spans)+len(t.instants)+len(t.samples))
+	for i, s := range spans {
+		tid := cats[s.cat].base + laneOf[i]
+		evs = append(evs,
+			tsEvent{ts: s.start, rank: 1, seq: s.seq, ev: chromeEvent{Name: s.name, Cat: s.cat, Ph: "B", Ts: s.start, Tid: tid}},
+			tsEvent{ts: s.end, rank: 0, seq: s.seq, ev: chromeEvent{Name: s.name, Cat: s.cat, Ph: "E", Ts: s.end, Tid: tid}},
+		)
+	}
+	for _, in := range t.instants {
+		ev := chromeEvent{Name: in.name, Cat: in.cat, Ph: "i", Ts: in.ts, Tid: instantsTid, S: "t"}
+		if in.detail != "" {
+			ev.Args = map[string]any{"detail": in.detail}
+		}
+		evs = append(evs, tsEvent{ts: in.ts, rank: 2, seq: in.seq, ev: ev})
+	}
+	for _, cs := range t.samples {
+		ev := chromeEvent{Name: cs.name, Ph: "C", Ts: cs.ts, Tid: instantsTid, Args: map[string]any{"value": cs.v}}
+		evs = append(evs, tsEvent{ts: cs.ts, rank: 2, seq: cs.seq, ev: ev})
+	}
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].ts != evs[j].ts {
+			return evs[i].ts < evs[j].ts
+		}
+		if evs[i].rank != evs[j].rank {
+			return evs[i].rank < evs[j].rank
+		}
+		return evs[i].seq < evs[j].seq
+	})
+
+	// Metadata names the lanes, then the time-ordered events follow.
+	out := make([]chromeEvent, 0, len(evs)+len(catOrder)+1)
+	out = append(out, chromeEvent{Name: "thread_name", Ph: "M", Tid: instantsTid,
+		Args: map[string]any{"name": "events"}})
+	for _, c := range catOrder {
+		cl := cats[c]
+		for l := 0; l < laneCount[c]; l++ {
+			name := c
+			if laneCount[c] > 1 {
+				name = fmt.Sprintf("%s #%d", c, l)
+			}
+			out = append(out, chromeEvent{Name: "thread_name", Ph: "M", Tid: cl.base + l,
+				Args: map[string]any{"name": name}})
+		}
+	}
+	for _, e := range evs {
+		out = append(out, e.ev)
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{
+		"traceEvents":     out,
+		"displayTimeUnit": "ms",
+		"otherData":       map[string]any{"generator": "rocksim", "timeUnit": "1 ts = 1 core cycle"},
+	})
+}

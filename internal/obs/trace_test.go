@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rocksim/internal/obs/obstest"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// buildTrace exercises every event shape: overlapping spans (forcing a
+// second lane), B/E pairs, an abandoned Begin closed by CloseOpen, an
+// ignored duplicate Begin, an ignored unmatched End, a zero-length span,
+// instants and counter samples.
+func buildTrace() *Trace {
+	tr := NewTrace()
+	tr.Span(0, 10, "mode", "normal")
+	tr.Span(10, 14, "mode", "spec")
+	tr.Begin(2, "checkpoint", "ckpt", 1)
+	tr.Begin(2, "checkpoint", "dup", 1) // ignored: id 1 already open
+	tr.Begin(5, "checkpoint", "ckpt", 2)
+	tr.End(8, "checkpoint", 1)
+	tr.End(8, "checkpoint", 99) // ignored: never opened
+	tr.Begin(9, "checkpoint", "ckpt", 3)
+	tr.Span(4, 4, "memory", "miss->L2") // zero length: clamped to 1 cycle
+	tr.Span(6, 13, "memory", "miss->DRAM")
+	tr.Instant(7, "rollback", "branch", "pc=0x40")
+	tr.CounterSample(0, "sst/dq", 0)
+	tr.CounterSample(8, "sst/dq", 5)
+	tr.End(12, "checkpoint", 2)
+	tr.CloseOpen(14) // closes checkpoint id 3
+	return tr
+}
+
+func TestObsChromeGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildTrace().WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_trace.golden")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/obs -run TestObsChromeGolden -update` to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("chrome trace differs from golden file\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestObsChromeContract(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildTrace().WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cats := obstest.CheckChrome(t, buf.Bytes())
+	for _, want := range []string{"mode", "checkpoint", "memory", "rollback"} {
+		if !cats[want] {
+			t.Errorf("category %q missing from trace", want)
+		}
+	}
+
+	// The three checkpoint spans overlap pairwise at most two deep, so
+	// the checkpoint category must occupy exactly two lanes.
+	var f obstest.ChromeFile
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatal(err)
+	}
+	lanes := map[int]bool{}
+	for _, e := range f.TraceEvents {
+		if e.Ph == "B" && e.Cat == "checkpoint" {
+			lanes[e.Tid] = true
+		}
+	}
+	if len(lanes) != 2 {
+		t.Errorf("checkpoint lanes = %d, want 2", len(lanes))
+	}
+}
+
+func TestObsChromeUnclosedDropped(t *testing.T) {
+	tr := NewTrace()
+	tr.Begin(3, "checkpoint", "ckpt", 7)
+	// No End, no CloseOpen: the span must not be exported.
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var f obstest.ChromeFile
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range f.TraceEvents {
+		if e.Ph == "B" || e.Ph == "E" {
+			t.Errorf("unclosed span leaked into output: %+v", e)
+		}
+	}
+}

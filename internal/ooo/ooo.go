@@ -12,6 +12,7 @@ import (
 	"rocksim/internal/cpu"
 	"rocksim/internal/isa"
 	"rocksim/internal/mem"
+	"rocksim/internal/obs"
 )
 
 // Config parameterizes the out-of-order core.
@@ -62,6 +63,18 @@ type Stats struct {
 	ROBFullCycles      uint64
 	FetchStallCycles   uint64
 	EmptyIssueCycles   uint64 // cycles with nothing ready to issue
+}
+
+// PublishObs publishes the common core counter set plus the out-of-order
+// event breakdown under "ooo/".
+func (s *Stats) PublishObs(r *obs.Registry) {
+	s.BaseStats.PublishObs(r)
+	r.Counter("ooo/squashes").Set(s.Squashes)
+	r.Counter("ooo/mem_order_violations").Set(s.MemOrderViolations)
+	r.Counter("ooo/wrong_path_insts").Set(s.WrongPathInsts)
+	r.Counter("ooo/stall/rob_full").Set(s.ROBFullCycles)
+	r.Counter("ooo/stall/fetch").Set(s.FetchStallCycles)
+	r.Counter("ooo/stall/empty_issue").Set(s.EmptyIssueCycles)
 }
 
 type source struct {
@@ -123,6 +136,19 @@ type Core struct {
 	err   error
 
 	stats Stats
+	sink  obs.Sink
+	occ   [2]int
+}
+
+// oooOccNames are the occupancy tracks reported through the sink.
+var oooOccNames = []string{"rob", "memops"}
+
+// SetSink installs an observability sink (nil disables).
+func (c *Core) SetSink(s obs.Sink) {
+	c.sink = s
+	if s != nil {
+		s.Attach("ooo", oooOccNames)
+	}
 }
 
 // New creates an out-of-order core executing from entry.
@@ -192,12 +218,17 @@ func (c *Core) entryBySeq(seq uint64) *robEntry {
 // Step advances the core one cycle: commit, issue/execute, fetch.
 func (c *Core) Step() {
 	now := c.cycle
+	retiredBefore := c.stats.Retired
 	c.commit(now)
 	if !c.done && c.err == nil {
 		c.issue(now)
 		c.fetch(now)
 	}
 	c.stats.SampleMLP(c.m.Hier.OutstandingDataMisses(c.m.CoreID, now))
+	if c.sink != nil {
+		c.occ[0], c.occ[1] = c.count, c.memOps
+		c.sink.CycleState(now, "normal", int(c.stats.Retired-retiredBefore), 0, c.occ[:])
+	}
 	c.stats.Cycles++
 	c.cycle++
 }

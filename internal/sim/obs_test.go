@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"rocksim/internal/obs"
+	"rocksim/internal/obs/obstest"
+	"rocksim/internal/workload"
+)
+
+// TestObsCrossModelCounters asserts that every core model publishes the
+// uniform counter set, so metrics files from different models can be
+// compared field by field.
+func TestObsCrossModelCounters(t *testing.T) {
+	w, err := workload.Build("randarr", workload.ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	required := []string{
+		"core/cycles",
+		"core/insts",
+		"core/loads",
+		"core/stores",
+		"core/branches",
+		"core/checkpoints_taken",
+		"core/checkpoints_committed",
+		"core/checkpoints_aborted",
+		"mem/l1d/misses",
+		"mem/l1i/misses",
+		"mem/l2/misses",
+		"mem/dram/reads",
+	}
+	for _, kind := range Kinds {
+		opts := DefaultOptions()
+		opts.Metrics = obs.NewRegistry()
+		out, err := Run(kind, w.Program, opts)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		snap := opts.Metrics.Snapshot()
+		for _, name := range required {
+			if _, ok := snap.Counters[name]; !ok {
+				t.Errorf("%v: counter %q missing", kind, name)
+			}
+		}
+		if _, ok := snap.Gauges["core/dq_highwater"]; !ok {
+			t.Errorf("%v: gauge core/dq_highwater missing", kind)
+		}
+		if got := snap.Counters["core/cycles"]; got != out.Cycles {
+			t.Errorf("%v: core/cycles = %d, want %d", kind, got, out.Cycles)
+		}
+		if got := snap.Counters["core/insts"]; got != out.Retired {
+			t.Errorf("%v: core/insts = %d, want %d", kind, got, out.Retired)
+		}
+	}
+}
+
+// metricsJSON runs kind on prog with a fresh registry and a full
+// Collector (trace + timelines) and returns the metrics JSON bytes.
+func metricsJSON(t *testing.T, kind Kind) []byte {
+	t.Helper()
+	w, err := workload.Build("randarr", workload.ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.Metrics = obs.NewRegistry()
+	col := obs.NewCollector(obs.NewTrace(), opts.Metrics)
+	opts.Sink = col
+	out, err := Run(kind, w.Program, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col.Flush(out.Cycles)
+	var buf bytes.Buffer
+	if err := opts.Metrics.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestObsDeterminism asserts that two identical runs export
+// byte-identical metrics JSON (including timelines), the property that
+// makes metrics files diffable across simulator versions. The CI
+// determinism gate runs this test with -count=2, which additionally
+// proves the export is stable across process-level map iteration.
+func TestObsDeterminism(t *testing.T) {
+	for _, kind := range []Kind{KindInOrder, KindSST} {
+		a := metricsJSON(t, kind)
+		b := metricsJSON(t, kind)
+		if !bytes.Equal(a, b) {
+			t.Errorf("%v: identical runs exported different metrics JSON", kind)
+		}
+	}
+}
+
+// TestObsChromeTrace runs the SST core with a Collector and asserts the
+// exporter contract on a real simulation trace: valid JSON, monotonic
+// ts, balanced B/E pairs, and at least the mode, checkpoint and memory
+// categories.
+func TestObsChromeTrace(t *testing.T) {
+	w, err := workload.Build("randarr", workload.ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.NewTrace()
+	opts := DefaultOptions()
+	opts.Metrics = obs.NewRegistry()
+	col := obs.NewCollector(tr, opts.Metrics)
+	opts.Sink = col
+	out, err := Run(KindSST, w.Program, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col.Flush(out.Cycles)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cats := obstest.CheckChrome(t, buf.Bytes())
+	for _, want := range []string{"mode", "checkpoint", "memory"} {
+		if !cats[want] {
+			t.Errorf("category %q missing from simulation trace", want)
+		}
+	}
+
+	// The same run's registry must carry occupancy timelines fed by the
+	// Collector.
+	snap := opts.Metrics.Snapshot()
+	if len(snap.Timelines) == 0 {
+		t.Error("no occupancy timelines collected")
+	}
+	for name, tl := range snap.Timelines {
+		if len(tl.Cycles) != len(tl.Values) {
+			t.Errorf("timeline %s: %d cycles vs %d values", name, len(tl.Cycles), len(tl.Values))
+		}
+	}
+}
+
+// TestObsReportEmbedsMetrics asserts the JSON report carries the
+// snapshot when a registry was attached.
+func TestObsReportEmbedsMetrics(t *testing.T) {
+	w, err := workload.Build("randarr", workload.ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.Metrics = obs.NewRegistry()
+	out, err := Run(KindSST, w.Program, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewReport(out)
+	if r.Metrics == nil {
+		t.Fatal("report.Metrics nil despite Options.Metrics")
+	}
+	if r.Metrics.Counters["core/cycles"] != out.Cycles {
+		t.Errorf("report metrics core/cycles = %d, want %d", r.Metrics.Counters["core/cycles"], out.Cycles)
+	}
+	if r.Caches.LoadMissP95 < r.Caches.LoadMissP50 {
+		t.Errorf("load-miss p95 %d < p50 %d", r.Caches.LoadMissP95, r.Caches.LoadMissP50)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"rocksim/internal/core"
 	"rocksim/internal/inorder"
+	"rocksim/internal/obs"
 	"rocksim/internal/ooo"
 )
 
@@ -31,6 +32,10 @@ type Report struct {
 	SST     *SSTReport     `json:"sst,omitempty"`
 	OOO     *OOOReport     `json:"ooo,omitempty"`
 	InOrder *InOrderReport `json:"inorder,omitempty"`
+
+	// Metrics is the flat observability snapshot, present when the run
+	// carried a registry (Options.Metrics).
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
 }
 
 // CacheReport summarizes hierarchy behaviour.
@@ -41,6 +46,10 @@ type CacheReport struct {
 	DRAMReads  uint64  `json:"dram_reads"`
 	DRAMWrites uint64  `json:"dram_writes"`
 	Prefetches uint64  `json:"prefetches"`
+	// Demand data-miss latency percentiles, in cycles.
+	LoadMissP50 int `json:"load_miss_p50,omitempty"`
+	LoadMissP95 int `json:"load_miss_p95,omitempty"`
+	LoadMissP99 int `json:"load_miss_p99,omitempty"`
 }
 
 // SSTReport carries the SST-specific counters.
@@ -57,9 +66,14 @@ type SSTReport struct {
 	ModeCyclesPct    map[string]float64 `json:"mode_cycles_pct"`
 	DQOccMean        float64            `json:"dq_occupancy_mean"`
 	SSBOccMean       float64            `json:"ssb_occupancy_mean"`
-	TxBegins         uint64             `json:"tx_begins,omitempty"`
-	TxCommits        uint64             `json:"tx_commits,omitempty"`
-	TxAborts         uint64             `json:"tx_aborts,omitempty"`
+	// Checkpoint lifetime (cycles from take to commit or abort).
+	CkptLifeMean float64 `json:"ckpt_life_mean,omitempty"`
+	CkptLifeP50  int     `json:"ckpt_life_p50,omitempty"`
+	CkptLifeP95  int     `json:"ckpt_life_p95,omitempty"`
+	CkptLifeP99  int     `json:"ckpt_life_p99,omitempty"`
+	TxBegins     uint64  `json:"tx_begins,omitempty"`
+	TxCommits    uint64  `json:"tx_commits,omitempty"`
+	TxAborts     uint64  `json:"tx_aborts,omitempty"`
 }
 
 // OOOReport carries the out-of-order counters.
@@ -104,13 +118,20 @@ func NewReport(out Outcome) Report {
 		LoadL2Pct:     pct(b.LoadL2Hits, b.Loads),
 		LoadMemPct:    pct(b.LoadMemHits, b.Loads),
 		Caches: CacheReport{
-			L1DMissPct: 100 * h.L1D(out.Mach.CoreID).Stats.MissRate(),
-			L1IMissPct: 100 * h.L1I(out.Mach.CoreID).Stats.MissRate(),
-			L2MissPct:  100 * h.L2().Stats.MissRate(),
-			DRAMReads:  h.DRAM().Stats.Reads,
-			DRAMWrites: h.DRAM().Stats.Writes,
-			Prefetches: h.Stats.Prefetches,
+			L1DMissPct:  100 * h.L1D(out.Mach.CoreID).Stats.MissRate(),
+			L1IMissPct:  100 * h.L1I(out.Mach.CoreID).Stats.MissRate(),
+			L2MissPct:   100 * h.L2().Stats.MissRate(),
+			DRAMReads:   h.DRAM().Stats.Reads,
+			DRAMWrites:  h.DRAM().Stats.Writes,
+			Prefetches:  h.Stats.Prefetches,
+			LoadMissP50: h.LoadMissLatency().Quantile(0.50),
+			LoadMissP95: h.LoadMissLatency().Quantile(0.95),
+			LoadMissP99: h.LoadMissLatency().Quantile(0.99),
 		},
+	}
+	if out.Obs != nil {
+		snap := out.Obs.Snapshot()
+		r.Metrics = &snap
 	}
 	switch c := out.Core.(type) {
 	case *core.Core:
@@ -140,6 +161,10 @@ func NewReport(out Outcome) Report {
 			ModeCyclesPct:    modes,
 			DQOccMean:        s.DQOcc.Mean(),
 			SSBOccMean:       s.SSBOcc.Mean(),
+			CkptLifeMean:     s.CkptLife.Mean(),
+			CkptLifeP50:      s.CkptLife.Quantile(0.50),
+			CkptLifeP95:      s.CkptLife.Quantile(0.95),
+			CkptLifeP99:      s.CkptLife.Quantile(0.99),
 			TxBegins:         s.Tx.Begins,
 			TxCommits:        s.Tx.Commits,
 			TxAborts:         s.Tx.Aborts,

@@ -14,6 +14,7 @@ import (
 	"rocksim/internal/inorder"
 	"rocksim/internal/isa"
 	"rocksim/internal/mem"
+	"rocksim/internal/obs"
 	"rocksim/internal/ooo"
 )
 
@@ -77,6 +78,14 @@ type Options struct {
 	// Probe, when non-nil, is installed on SST-family cores for
 	// pipeline visualization (see core.PipeView).
 	Probe core.Probe
+	// Sink, when non-nil, observes the run's event stream: it is
+	// installed on the core model (every kind) and the memory hierarchy.
+	// Use an obs.Collector to feed a Chrome trace and/or registry
+	// timelines; remember to Flush it after the run.
+	Sink obs.Sink
+	// Metrics, when non-nil, receives every model's counters at the end
+	// of the run (see PublishObs).
+	Metrics *obs.Registry
 }
 
 // DefaultMaxCycles bounds runaway simulations.
@@ -104,6 +113,9 @@ type Outcome struct {
 	Mach    *cpu.Machine
 	Mem     *mem.Sparse
 	Regs    [isa.NumRegs]int64
+	// Obs is the run's metrics registry (Options.Metrics), when one was
+	// attached; reports embed its snapshot.
+	Obs *obs.Registry
 }
 
 // IPC returns retired instructions per cycle.
@@ -114,11 +126,23 @@ func (o Outcome) IPC() float64 {
 	return float64(o.Retired) / float64(o.Cycles)
 }
 
-// NewCore builds a core of the given kind over machine m.
+// NewCore builds a core of the given kind over machine m, installing the
+// options' observability hooks.
 func NewCore(k Kind, m *cpu.Machine, opts Options, entry uint64) cpu.Core {
 	c := newCore(k, m, opts, entry)
-	if sst, ok := c.(*core.Core); ok && opts.Probe != nil {
-		sst.SetProbe(opts.Probe)
+	switch cc := c.(type) {
+	case *core.Core:
+		var probe obs.Sink
+		if opts.Probe != nil {
+			probe = core.ProbeSink(opts.Probe)
+		}
+		if s := obs.Tee(probe, opts.Sink); s != nil {
+			cc.SetSink(s)
+		}
+	case *inorder.Core:
+		cc.SetSink(opts.Sink)
+	case *ooo.Core:
+		cc.SetSink(opts.Sink)
 	}
 	return c
 }
@@ -163,6 +187,7 @@ func Run(k Kind, prog *asm.Program, opts Options) (Outcome, error) {
 	if err != nil {
 		return Outcome{}, err
 	}
+	mach.Hier.SetSink(opts.Sink)
 	c := NewCore(k, mach, opts, prog.Entry)
 	limit := opts.MaxCycles
 	if limit == 0 {
@@ -180,7 +205,31 @@ func Run(k Kind, prog *asm.Program, opts Options) (Outcome, error) {
 		Mem:     m,
 	}
 	out.Regs = coreRegs(c)
+	out.Obs = opts.Metrics
+	out.PublishObs(opts.Metrics)
 	return out, nil
+}
+
+// PublishObs publishes the finished run's counters — the core model's
+// and the memory hierarchy's — into r. No-op when r is nil. sim.Run
+// calls this automatically when Options.Metrics is set.
+func (o Outcome) PublishObs(r *obs.Registry) {
+	if r == nil || o.Core == nil {
+		return
+	}
+	switch c := o.Core.(type) {
+	case *core.Core:
+		c.PublishObs(r)
+	case *inorder.Core:
+		c.Stats().PublishObs(r)
+	case *ooo.Core:
+		c.Stats().PublishObs(r)
+	default:
+		o.Core.Base().PublishObs(r)
+	}
+	if o.Mach != nil {
+		o.Mach.Hier.PublishObs(r)
+	}
 }
 
 func coreRegs(c cpu.Core) [isa.NumRegs]int64 {

@@ -58,6 +58,31 @@ func (h *Hist) Mean() float64 {
 // Max returns the largest observed value.
 func (h *Hist) Max() int { return h.max }
 
+// Merge folds other's observations into h. Buckets beyond h's limit
+// clamp into h's overflow bucket (consistent with Add), so merging a
+// wider histogram into a narrower one loses only tail resolution, never
+// counts. The observed max and the exact sum are preserved.
+func (h *Hist) Merge(other *Hist) {
+	if other == nil || other.n == 0 {
+		return
+	}
+	for v, cnt := range other.buckets {
+		if cnt == 0 {
+			continue
+		}
+		b := v
+		if b >= len(h.buckets) {
+			b = len(h.buckets) - 1
+		}
+		h.buckets[b] += cnt
+	}
+	h.n += other.n
+	h.sum += other.sum
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
 // Quantile returns the smallest bucket value v such that at least
 // q (0..1) of observations are <= v.
 func (h *Hist) Quantile(q float64) int {

@@ -118,3 +118,56 @@ func TestSortedKeys(t *testing.T) {
 		t.Errorf("keys = %v", ks)
 	}
 }
+
+func TestHistMerge(t *testing.T) {
+	a := NewHist(10)
+	for _, v := range []int{1, 2, 3} {
+		a.Add(v)
+	}
+	b := NewHist(10)
+	for _, v := range []int{4, 5} {
+		b.Add(v)
+	}
+	a.Merge(b)
+	if a.Count() != 5 {
+		t.Errorf("count = %d, want 5", a.Count())
+	}
+	if got := a.Mean(); got != 3 {
+		t.Errorf("mean = %g, want 3", got)
+	}
+	if a.Max() != 5 {
+		t.Errorf("max = %d, want 5", a.Max())
+	}
+	if got := a.Quantile(0.5); got != 3 {
+		t.Errorf("p50 = %d, want 3", got)
+	}
+
+	// Merging a wider histogram clamps its tail into the overflow bucket
+	// but preserves counts, sum and max exactly.
+	narrow := NewHist(4)
+	narrow.Add(1)
+	wide := NewHist(100)
+	wide.Add(50)
+	wide.Add(80)
+	narrow.Merge(wide)
+	if narrow.Count() != 3 {
+		t.Errorf("clamped count = %d, want 3", narrow.Count())
+	}
+	if narrow.Max() != 80 {
+		t.Errorf("clamped max = %d, want 80", narrow.Max())
+	}
+	if got := narrow.Mean(); got != (1+50+80)/3.0 {
+		t.Errorf("clamped mean = %g, want %g", got, (1+50+80)/3.0)
+	}
+	if got := narrow.Quantile(0.99); got != 4 {
+		t.Errorf("clamped p99 = %d, want overflow bucket 4", got)
+	}
+
+	// nil and empty merges are no-ops.
+	before := narrow.Count()
+	narrow.Merge(nil)
+	narrow.Merge(NewHist(8))
+	if narrow.Count() != before {
+		t.Errorf("no-op merge changed count: %d -> %d", before, narrow.Count())
+	}
+}
