@@ -1,12 +1,14 @@
 # Verification tiers. tier1 is the gate every change must keep green;
-# tier2 adds vet + the race detector (the simulator is single-threaded,
-# so -race is cheap insurance against future concurrency); determinism
-# re-runs the observability tests twice in one process to prove the
-# exports are byte-stable across map-iteration orders.
+# tier2 adds vet, the race detector (the experiment harness runs
+# simulations on a worker pool, so -race now guards real concurrency)
+# and a parallel-determinism smoke that diffs sstbench -j 4 against
+# -j 1; determinism re-runs the observability tests twice in one
+# process to prove the exports are byte-stable across map-iteration
+# orders.
 
 GO ?= go
 
-.PHONY: all tier1 tier2 determinism ci bench-overhead golden
+.PHONY: all tier1 tier2 race smoke-parallel determinism ci bench-overhead golden
 
 all: tier1
 
@@ -14,9 +16,22 @@ tier1:
 	$(GO) build ./...
 	$(GO) test ./...
 
-tier2:
+race:
+	$(GO) test -race -timeout 20m ./...
+
+# Prove the -j worker pool changes nothing but wall clock: regenerate
+# every experiment at test scale serially and with 4 workers and
+# require byte-identical tables (only the "regenerated in" wall-clock
+# lines may differ).
+smoke-parallel:
+	$(GO) build -o /tmp/sstbench-smoke ./cmd/sstbench
+	/tmp/sstbench-smoke -scale test -j 1 | grep -v 'regenerated in' > /tmp/sstbench-j1.txt
+	/tmp/sstbench-smoke -scale test -j 4 | grep -v 'regenerated in' > /tmp/sstbench-j4.txt
+	diff -u /tmp/sstbench-j1.txt /tmp/sstbench-j4.txt
+	@echo "smoke-parallel: -j 1 and -j 4 output identical"
+
+tier2: race smoke-parallel
 	$(GO) vet ./...
-	$(GO) test -race ./...
 
 determinism:
 	$(GO) test -run TestObs -count=2 ./...

@@ -25,6 +25,18 @@ type Program struct {
 	Entry    uint64
 	Segments []Segment
 	Symbols  map[string]uint64
+	// Name optionally identifies the program (e.g. the workload name);
+	// harness errors use it to attribute failures (see Desc).
+	Name string
+}
+
+// Desc returns the program's name when one was set, and its entry
+// address otherwise — the identity used in harness errors.
+func (p *Program) Desc() string {
+	if p.Name != "" {
+		return p.Name
+	}
+	return fmt.Sprintf("entry %#x", p.Entry)
 }
 
 // Memory is the subset of functional memory the loader needs.

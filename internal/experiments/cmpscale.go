@@ -32,8 +32,10 @@ func (r *Runner) CMPScaling(scale workload.Scale) (*Result, error) {
 	t := stats.NewTable("Figure 9: CMP throughput scaling (commercial mix)", headers...)
 
 	opts := sim.DefaultOptions()
-	for _, n := range counts {
-		// Build the program mix: round-robin over the commercial suite.
+	// Build each count's program mix up front (cheap, and shared
+	// read-only by the chip runs): round-robin over the commercial suite.
+	mixes := make([][]*asm.Program, len(counts))
+	for ci, n := range counts {
 		progs := make([]*asm.Program, 0, n)
 		for i := 0; i < n; i++ {
 			w, err := workload.Build(mixNames[i%len(mixNames)], scale)
@@ -42,19 +44,33 @@ func (r *Runner) CMPScaling(scale workload.Scale) (*Result, error) {
 			}
 			progs = append(progs, w.Program)
 		}
+		mixes[ci] = progs
+	}
+	// One pool job per (count, kind) chip run; rows assemble in order.
+	throughput := make([]float64, len(counts)*len(kinds))
+	err := r.forEach(len(throughput), func(i int) error {
+		n, k := counts[i/len(kinds)], kinds[i%len(kinds)]
+		chip, err := cmp.NewPrivate(opts.Hier, opts.Pred, mixes[i/len(kinds)],
+			func(id int, m *cpu.Machine, entry uint64) cpu.Core {
+				return sim.NewCore(k, m, opts, entry)
+			})
+		if err != nil {
+			return err
+		}
+		if err := chip.Run(sim.DefaultMaxCycles); err != nil {
+			return fmt.Errorf("cmp scaling: %v x%d: %w", k, n, err)
+		}
+		throughput[i] = chip.Throughput()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ci, n := range counts {
 		row := []any{n}
-		for _, k := range kinds {
-			chip, err := cmp.NewPrivate(opts.Hier, opts.Pred, progs,
-				func(id int, m *cpu.Machine, entry uint64) cpu.Core {
-					return sim.NewCore(k, m, opts, entry)
-				})
-			if err != nil {
-				return nil, err
-			}
-			if err := chip.Run(sim.DefaultMaxCycles); err != nil {
-				return nil, fmt.Errorf("cmp scaling: %v x%d: %w", k, n, err)
-			}
-			row = append(row, chip.Throughput(), chip.Throughput()/float64(n))
+		for ki := range kinds {
+			tp := throughput[ci*len(kinds)+ki]
+			row = append(row, tp, tp/float64(n))
 		}
 		t.AddRow(row...)
 	}

@@ -7,7 +7,10 @@ package experiments
 
 import (
 	"fmt"
+	"hash/fnv"
 	"io"
+	"runtime"
+	"sync"
 
 	"rocksim/internal/sim"
 	"rocksim/internal/stats"
@@ -48,28 +51,155 @@ func (r *Result) FprintCharts(w io.Writer) {
 
 // Runner runs experiments with caching of workload runs, so that
 // experiments sharing a (kind, workload, options) run do not repeat it.
+// It is safe for concurrent use: drivers submit their grid cells to a
+// worker pool bounded by SetJobs, and concurrent requests for the same
+// cell — within one experiment or across experiments racing on a
+// shared Runner — deduplicate onto a single simulation (singleflight).
 type Runner struct {
-	Scale sim.Kind // unused; kept simple
-	cache map[string]sim.Outcome
+	mu    sync.Mutex
+	jobs  int
+	sem   chan struct{}
+	cache map[string]*cacheEntry
 }
 
-// NewRunner returns a Runner.
+// cacheEntry is one cell of the run cache. The first requester computes
+// the outcome and closes done; every other requester blocks on done and
+// reads the shared result.
+type cacheEntry struct {
+	done chan struct{}
+	out  sim.Outcome
+	err  error
+}
+
+// NewRunner returns a Runner with one worker per available CPU.
 func NewRunner() *Runner {
-	return &Runner{cache: make(map[string]sim.Outcome)}
+	return &Runner{jobs: runtime.GOMAXPROCS(0), cache: make(map[string]*cacheEntry)}
 }
 
-// run executes workload w on core kind k with options o, caching by key.
-func (r *Runner) run(key string, k sim.Kind, spec *workload.Spec, opts sim.Options) (sim.Outcome, error) {
-	ck := fmt.Sprintf("%s|%v|%s", key, k, spec.Name)
-	if out, ok := r.cache[ck]; ok {
-		return out, nil
+// SetJobs bounds the worker pool to n concurrent simulation runs
+// (the -j flag of cmd/sstbench). n < 1 resets to one per CPU. Results
+// are assembled in presentation order regardless of n, so output is
+// byte-identical to a SetJobs(1) run.
+func (r *Runner) SetJobs(n int) {
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
 	}
+	r.mu.Lock()
+	r.jobs = n
+	r.sem = nil // re-sized on next use
+	r.mu.Unlock()
+}
+
+// Jobs returns the worker-pool bound.
+func (r *Runner) Jobs() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.jobs
+}
+
+// semaphore returns the pool's shared slot channel, sized to the
+// current job bound. Sharing one semaphore across concurrent forEach
+// calls keeps the bound global to the Runner, not per call.
+func (r *Runner) semaphore() chan struct{} {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.sem == nil {
+		r.sem = make(chan struct{}, r.jobs)
+	}
+	return r.sem
+}
+
+// forEach runs job(0..n-1) on the bounded worker pool, waits for all of
+// them, and returns the lowest-index error so failures are as
+// deterministic as results.
+func (r *Runner) forEach(n int, job func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	sem := r.semaphore()
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			errs[i] = job(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// cell is one (core kind, workload, options) point of an experiment
+// grid.
+type cell struct {
+	kind sim.Kind
+	spec *workload.Spec
+	opts sim.Options
+}
+
+// runCells executes every cell on the worker pool and returns the
+// outcomes in cell order, so drivers can assemble tables in
+// presentation order independent of completion order.
+func (r *Runner) runCells(cells []cell) ([]sim.Outcome, error) {
+	outs := make([]sim.Outcome, len(cells))
+	err := r.forEach(len(cells), func(i int) error {
+		out, err := r.run(cells[i].kind, cells[i].spec, cells[i].opts)
+		outs[i] = out
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return outs, nil
+}
+
+// cacheKey derives the run-cache key from the cell's full contents:
+// the core kind, the complete program image and every simulation-
+// affecting option (sim.Options.Fingerprint). Call sites no longer
+// encode varied options into hand-written key strings, so two cells
+// that run the same simulation always share one cache slot and two
+// that differ never collide.
+func cacheKey(k sim.Kind, spec *workload.Spec, opts sim.Options) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%#x|", spec.Program.Entry)
+	for _, s := range spec.Program.Segments {
+		fmt.Fprintf(h, "%#x:", s.Addr)
+		h.Write(s.Data)
+	}
+	fmt.Fprintf(h, "|%s", opts.Fingerprint())
+	return fmt.Sprintf("%v|%s|%016x", k, spec.Name, h.Sum64())
+}
+
+// run executes workload spec on core kind k with options opts,
+// deduplicating identical cells through the content-addressed cache.
+// Concurrent requests for an in-flight cell block until the first
+// requester finishes (singleflight), so shared cells are computed once.
+func (r *Runner) run(k sim.Kind, spec *workload.Spec, opts sim.Options) (sim.Outcome, error) {
+	ck := cacheKey(k, spec, opts)
+	r.mu.Lock()
+	if e, ok := r.cache[ck]; ok {
+		r.mu.Unlock()
+		<-e.done
+		return e.out, e.err
+	}
+	e := &cacheEntry{done: make(chan struct{})}
+	r.cache[ck] = e
+	r.mu.Unlock()
 	out, err := sim.Run(k, spec.Program, opts)
 	if err != nil {
-		return out, fmt.Errorf("experiments: %v on %s: %w", k, spec.Name, err)
+		err = fmt.Errorf("experiments: %v on %s: %w", k, spec.Name, err)
 	}
-	r.cache[ck] = out
-	return out, nil
+	e.out, e.err = out, err
+	close(e.done)
+	return out, err
 }
 
 // All lists every experiment id in presentation order.
@@ -81,7 +211,7 @@ func (r *Runner) Run(id string, scale workload.Scale) (*Result, error) {
 	case "T1":
 		return ConfigTable(), nil
 	case "T2":
-		return WorkloadTable(scale)
+		return r.WorkloadTable(scale)
 	case "F1":
 		return r.PerfComparison(scale)
 	case "F2":

@@ -67,6 +67,9 @@ func TestHeadlineExperimentTestScale(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
+	if raceDetectorOn {
+		t.Skip("numeric-shape check; covered by tier1, and F1 runs under race in TestConcurrentRegeneration")
+	}
 	r := NewRunner()
 	res, err := r.PerfComparison(workload.ScaleTest)
 	if err != nil {
@@ -93,13 +96,21 @@ func TestHeadlineExperimentTestScale(t *testing.T) {
 }
 
 // TestSweepsSmoke runs every remaining experiment at test scale: they
-// must produce non-empty tables without errors.
+// must produce non-empty tables without errors. Under the race
+// detector the full sweep would take tens of minutes, so a reduced
+// set covering each driver family stands in; the concurrency proof
+// under race is TestConcurrentRegeneration, and the full sweep runs
+// in tier1.
 func TestSweepsSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
+	ids := All
+	if raceDetectorOn {
+		ids = []string{"T1", "F5", "F12", "F16", "T3"}
+	}
 	r := NewRunner()
-	for _, id := range All {
+	for _, id := range ids {
 		res, err := r.Run(id, workload.ScaleTest)
 		if err != nil {
 			t.Fatalf("%s: %v", id, err)

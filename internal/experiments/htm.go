@@ -23,19 +23,34 @@ func (r *Runner) HTMContention(scale workload.Scale) (*Result, error) {
 		perCore = 1000
 	}
 	counts := []int{1, 2, 4, 8}
+	// One pool job per (count, variant) chip run: even indices are the
+	// HTM variant, odd the cas variant.
+	type chipResult struct {
+		cycles, aborts, commits uint64
+	}
+	res := make([]chipResult, 2*len(counts))
+	err := r.forEach(len(res), func(i int) error {
+		n := counts[i/2]
+		src := htmCounterSrc(perCore)
+		if i%2 == 1 {
+			src = casCounterSrc(perCore)
+		}
+		cycles, aborts, commits, err := runCounterChip(src, n)
+		if err != nil {
+			return err
+		}
+		res[i] = chipResult{cycles, aborts, commits}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	t := stats.NewTable("Figure 16 (extension): contended counter — HTM vs cas (lower cycles = better)",
 		"cores", "htm cycles", "htm aborts/commit", "cas cycles", "htm/cas speedup")
-	for _, n := range counts {
-		htmCycles, aborts, commits, err := runCounterChip(htmCounterSrc(perCore), n)
-		if err != nil {
-			return nil, err
-		}
-		casCycles, _, _, err := runCounterChip(casCounterSrc(perCore), n)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(n, htmCycles, stats.Ratio(aborts, commits), casCycles,
-			float64(casCycles)/float64(htmCycles))
+	for ci, n := range counts {
+		htm, cas := res[2*ci], res[2*ci+1]
+		t.AddRow(n, htm.cycles, stats.Ratio(htm.aborts, htm.commits), cas.cycles,
+			float64(cas.cycles)/float64(htm.cycles))
 	}
 	return &Result{
 		ID: "F16", Title: "HTM vs atomics under contention", Tables: []*stats.Table{t},

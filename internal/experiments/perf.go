@@ -30,18 +30,26 @@ func (r *Runner) PerfComparison(scale workload.Scale) (*Result, error) {
 		return nil, err
 	}
 	opts := sim.DefaultOptions()
+	cells := make([]cell, 0, len(specs)*len(sim.Kinds))
+	for _, w := range specs {
+		for _, k := range sim.Kinds {
+			cells = append(cells, cell{k, w, opts})
+		}
+	}
+	outs, err := r.runCells(cells)
+	if err != nil {
+		return nil, err
+	}
 	t := stats.NewTable("Figure 1: per-thread speedup over in-order (commercial suite)",
 		append([]string{"workload"}, kindNames()...)...)
 	perKind := map[sim.Kind][]float64{}
+	i := 0
 	for _, w := range specs {
 		row := []any{w.Name}
 		var baseIPC float64
 		for _, k := range sim.Kinds {
-			out, err := r.run("F1", k, w, opts)
-			if err != nil {
-				return nil, err
-			}
-			ipc := out.IPC()
+			ipc := outs[i].IPC()
+			i++
 			if k == sim.KindInOrder {
 				baseIPC = ipc
 			}
@@ -94,17 +102,21 @@ func (r *Runner) ModeBreakdown(scale workload.Scale) (*Result, error) {
 	}
 	specs = append(specs, specs2...)
 	opts := sim.DefaultOptions()
+	cells := make([]cell, 0, len(specs))
+	for _, w := range specs {
+		cells = append(cells, cell{sim.KindSST, w, opts})
+	}
+	outs, err := r.runCells(cells)
+	if err != nil {
+		return nil, err
+	}
 	headers := []string{"workload"}
 	for k := core.CycleKind(0); k < core.NumCycleKinds; k++ {
 		headers = append(headers, k.String()+"%")
 	}
 	t := stats.NewTable("Figure 2: SST execution-cycle breakdown", headers...)
-	for _, w := range specs {
-		out, err := r.run("F1", sim.KindSST, w, opts)
-		if err != nil {
-			return nil, err
-		}
-		st := sstStats(out)
+	for i, w := range specs {
+		st := sstStats(outs[i])
 		row := []any{w.Name}
 		for k := core.CycleKind(0); k < core.NumCycleKinds; k++ {
 			row = append(row, stats.Pct(st.ModeCycles[k], st.Cycles))
@@ -123,16 +135,24 @@ func (r *Runner) MLPComparison(scale workload.Scale) (*Result, error) {
 		return nil, err
 	}
 	opts := sim.DefaultOptions()
+	cells := make([]cell, 0, len(specs)*len(sim.Kinds))
+	for _, w := range specs {
+		for _, k := range sim.Kinds {
+			cells = append(cells, cell{k, w, opts})
+		}
+	}
+	outs, err := r.runCells(cells)
+	if err != nil {
+		return nil, err
+	}
 	t := stats.NewTable("Figure 7: memory-level parallelism (mean outstanding L1D misses while missing)",
 		append([]string{"workload"}, kindNames()...)...)
+	i := 0
 	for _, w := range specs {
 		row := []any{w.Name}
-		for _, k := range sim.Kinds {
-			out, err := r.run("F1", k, w, opts)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, out.Core.Base().MLP())
+		for range sim.Kinds {
+			row = append(row, outs[i].Core.Base().MLP())
+			i++
 		}
 		t.AddRow(row...)
 	}
@@ -150,24 +170,33 @@ func (r *Runner) Ablation(scale workload.Scale) (*Result, error) {
 	}
 	opts := sim.DefaultOptions()
 	kinds := []sim.Kind{sim.KindInOrder, sim.KindScout, sim.KindSSTEA, sim.KindSST}
+	cells := make([]cell, 0, len(specs)*len(kinds))
+	for _, w := range specs {
+		for _, k := range kinds {
+			cells = append(cells, cell{k, w, opts})
+		}
+	}
+	outs, err := r.runCells(cells)
+	if err != nil {
+		return nil, err
+	}
 	headers := []string{"workload"}
 	for _, k := range kinds {
 		headers = append(headers, k.String())
 	}
 	t := stats.NewTable("Figure 8: ablation — speedup over in-order", headers...)
 	acc := map[sim.Kind][]float64{}
+	i := 0
 	for _, w := range specs {
 		row := []any{w.Name}
 		var base float64
 		for _, k := range kinds {
-			out, err := r.run("F1", k, w, opts)
-			if err != nil {
-				return nil, err
-			}
+			ipc := outs[i].IPC()
+			i++
 			if k == sim.KindInOrder {
-				base = out.IPC()
+				base = ipc
 			}
-			sp := out.IPC() / base
+			sp := ipc / base
 			acc[k] = append(acc[k], sp)
 			row = append(row, sp)
 		}
@@ -196,18 +225,22 @@ func (r *Runner) RollbackAccounting(scale workload.Scale) (*Result, error) {
 		return nil, err
 	}
 	opts := sim.DefaultOptions()
+	cells := make([]cell, 0, len(specs))
+	for _, w := range specs {
+		cells = append(cells, cell{sim.KindSST, w, opts})
+	}
+	outs, err := r.runCells(cells)
+	if err != nil {
+		return nil, err
+	}
 	headers := []string{"workload", "checkpoints", "commits", "rollbacks"}
 	for c := core.RollbackCause(0); c < core.NumRollbackCauses; c++ {
 		headers = append(headers, "rb:"+c.String())
 	}
 	headers = append(headers, "discarded-insts%", "defer%", "dq-occ-mean")
 	t := stats.NewTable("Figure 10: SST speculation outcome accounting", headers...)
-	for _, w := range specs {
-		out, err := r.run("F1", sim.KindSST, w, opts)
-		if err != nil {
-			return nil, err
-		}
-		st := sstStats(out)
+	for i, w := range specs {
+		st := sstStats(outs[i])
 		row := []any{w.Name, st.CheckpointsTaken, st.EpochCommits, st.Rollbacks}
 		for cse := core.RollbackCause(0); cse < core.NumRollbackCauses; cse++ {
 			row = append(row, st.RollbacksBy[cse])

@@ -37,21 +37,29 @@ func (r *Runner) PolicyAblation(scale workload.Scale) (*Result, error) {
 		{"+scout-on-full", func(c *core.Config) { c.ScoutOnDQFull = true }},
 		{"-defer-longops", func(c *core.Config) { c.DeferLongOps = false }},
 	}
+	cells := make([]cell, 0, len(specs)*len(variants))
+	for _, w := range specs {
+		for _, v := range variants {
+			opts := sim.DefaultOptions()
+			v.mutate(&opts.SST)
+			cells = append(cells, cell{sim.KindSST, w, opts})
+		}
+	}
+	outs, err := r.runCells(cells)
+	if err != nil {
+		return nil, err
+	}
 	headers := []string{"workload"}
 	for _, v := range variants {
 		headers = append(headers, v.name)
 	}
 	t := stats.NewTable("Figure 13 (extension): SST policy ablation (IPC)", headers...)
+	i := 0
 	for _, w := range specs {
 		row := []any{w.Name}
-		for _, v := range variants {
-			opts := sim.DefaultOptions()
-			v.mutate(&opts.SST)
-			out, err := r.run("F13."+v.name, sim.KindSST, w, opts)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, out.IPC())
+		for range variants {
+			row = append(row, outs[i].IPC())
+			i++
 		}
 		t.AddRow(row...)
 	}
@@ -75,6 +83,21 @@ func (r *Runner) PrefetchInterplay(scale workload.Scale) (*Result, error) {
 	}
 	kinds := []sim.Kind{sim.KindInOrder, sim.KindSST}
 	pfs := []mem.PrefetchKind{mem.PrefetchNone, mem.PrefetchStride}
+	cells := make([]cell, 0, len(specs)*len(kinds)*len(pfs))
+	for _, w := range specs {
+		for _, k := range kinds {
+			for _, pf := range pfs {
+				opts := sim.DefaultOptions()
+				opts.Hier.Prefetch = pf
+				opts.Hier.Stride = mem.DefaultStrideConfig()
+				cells = append(cells, cell{k, w, opts})
+			}
+		}
+	}
+	outs, err := r.runCells(cells)
+	if err != nil {
+		return nil, err
+	}
 	headers := []string{"workload"}
 	for _, k := range kinds {
 		for _, pf := range pfs {
@@ -83,21 +106,16 @@ func (r *Runner) PrefetchInterplay(scale workload.Scale) (*Result, error) {
 	}
 	headers = append(headers, "sst-gain no-pf", "sst-gain stride-pf")
 	t := stats.NewTable("Figure 14 (extension): SST vs hardware stride prefetching (IPC)", headers...)
+	i := 0
 	for _, w := range specs {
 		row := []any{w.Name}
 		ipc := map[string]float64{}
 		for _, k := range kinds {
 			for _, pf := range pfs {
-				opts := sim.DefaultOptions()
-				opts.Hier.Prefetch = pf
-				opts.Hier.Stride = mem.DefaultStrideConfig()
-				out, err := r.run(fmt.Sprintf("F14.%v", pf), k, w, opts)
-				if err != nil {
-					return nil, err
-				}
 				key := fmt.Sprintf("%v/%v", k, pf)
-				ipc[key] = out.IPC()
-				row = append(row, out.IPC())
+				ipc[key] = outs[i].IPC()
+				row = append(row, outs[i].IPC())
+				i++
 			}
 		}
 		row = append(row,

@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceDetectorOn lets tests trade regeneration breadth for tractable
+// wall clock under the race detector's ~10x slowdown; the full sweep
+// runs in tier1 without it.
+const raceDetectorOn = true

@@ -16,18 +16,26 @@ func (r *Runner) DQSweep(scale workload.Scale) (*Result, error) {
 		return nil, err
 	}
 	sizes := []int{0, 8, 16, 32, 64, 128}
-	t := stats.NewTable("Figure 3: IPC vs Deferred Queue size",
-		headerize("workload", sizes, "DQ=%d")...)
+	cells := make([]cell, 0, len(specs)*len(sizes))
 	for _, w := range specs {
-		row := []any{w.Name}
 		for _, n := range sizes {
 			opts := sim.DefaultOptions()
 			opts.SST.DQSize = n
-			out, err := r.run(fmt.Sprintf("F3.%d", n), sim.KindSST, w, opts)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, out.IPC())
+			cells = append(cells, cell{sim.KindSST, w, opts})
+		}
+	}
+	outs, err := r.runCells(cells)
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Figure 3: IPC vs Deferred Queue size",
+		headerize("workload", sizes, "DQ=%d")...)
+	i := 0
+	for _, w := range specs {
+		row := []any{w.Name}
+		for range sizes {
+			row = append(row, outs[i].IPC())
+			i++
 		}
 		t.AddRow(row...)
 	}
@@ -45,18 +53,26 @@ func (r *Runner) CheckpointSweep(scale workload.Scale) (*Result, error) {
 		return nil, err
 	}
 	counts := []int{1, 2, 4, 8}
-	t := stats.NewTable("Figure 4: IPC vs number of checkpoints",
-		headerize("workload", counts, "ckpt=%d")...)
+	cells := make([]cell, 0, len(specs)*len(counts))
 	for _, w := range specs {
-		row := []any{w.Name}
 		for _, n := range counts {
 			opts := sim.DefaultOptions()
 			opts.SST.Checkpoints = n
-			out, err := r.run(fmt.Sprintf("F4.%d", n), sim.KindSST, w, opts)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, out.IPC())
+			cells = append(cells, cell{sim.KindSST, w, opts})
+		}
+	}
+	outs, err := r.runCells(cells)
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Figure 4: IPC vs number of checkpoints",
+		headerize("workload", counts, "ckpt=%d")...)
+	i := 0
+	for _, w := range specs {
+		row := []any{w.Name}
+		for range counts {
+			row = append(row, outs[i].IPC())
+			i++
 		}
 		t.AddRow(row...)
 	}
@@ -74,18 +90,26 @@ func (r *Runner) SSBSweep(scale workload.Scale) (*Result, error) {
 		return nil, err
 	}
 	sizes := []int{4, 8, 16, 32, 64}
-	t := stats.NewTable("Figure 5: IPC vs speculative store buffer size",
-		headerize("workload", sizes, "SSB=%d")...)
+	cells := make([]cell, 0, len(specs)*len(sizes))
 	for _, w := range specs {
-		row := []any{w.Name}
 		for _, n := range sizes {
 			opts := sim.DefaultOptions()
 			opts.SST.SSBSize = n
-			out, err := r.run(fmt.Sprintf("F5.%d", n), sim.KindSST, w, opts)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, out.IPC())
+			cells = append(cells, cell{sim.KindSST, w, opts})
+		}
+	}
+	outs, err := r.runCells(cells)
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Figure 5: IPC vs speculative store buffer size",
+		headerize("workload", sizes, "SSB=%d")...)
+	i := 0
+	for _, w := range specs {
+		row := []any{w.Name}
+		for range sizes {
+			row = append(row, outs[i].IPC())
+			i++
 		}
 		t.AddRow(row...)
 	}
@@ -103,23 +127,31 @@ func (r *Runner) MemLatencySweep(scale workload.Scale) (*Result, error) {
 	w := specs[0]
 	lats := []int{100, 200, 300, 500, 800}
 	kinds := []sim.Kind{sim.KindInOrder, sim.KindOOOLarge, sim.KindSST}
+	cells := make([]cell, 0, len(lats)*len(kinds))
+	for _, lat := range lats {
+		opts := sim.DefaultOptions()
+		opts.Hier.DRAM.Latency = lat
+		for _, k := range kinds {
+			cells = append(cells, cell{k, w, opts})
+		}
+	}
+	outs, err := r.runCells(cells)
+	if err != nil {
+		return nil, err
+	}
 	headers := []string{"DRAM latency"}
 	for _, k := range kinds {
 		headers = append(headers, "IPC "+k.String())
 	}
 	headers = append(headers, "SST/inorder", "SST/ooo-large")
 	t := stats.NewTable("Figure 6: performance vs memory latency (oltp)", headers...)
+	i := 0
 	for _, lat := range lats {
-		opts := sim.DefaultOptions()
-		opts.Hier.DRAM.Latency = lat
 		row := []any{lat}
 		ipcs := map[sim.Kind]float64{}
 		for _, k := range kinds {
-			out, err := r.run(fmt.Sprintf("F6.%d", lat), k, w, opts)
-			if err != nil {
-				return nil, err
-			}
-			ipcs[k] = out.IPC()
+			ipcs[k] = outs[i].IPC()
+			i++
 			row = append(row, ipcs[k])
 		}
 		row = append(row, ipcs[sim.KindSST]/ipcs[sim.KindInOrder], ipcs[sim.KindSST]/ipcs[sim.KindOOOLarge])
@@ -139,22 +171,30 @@ func (r *Runner) BranchSweep(scale workload.Scale) (*Result, error) {
 		return nil, err
 	}
 	bits := []int{6, 10, 14}
+	cells := make([]cell, 0, len(specs)*len(bits))
+	for _, w := range specs {
+		for _, b := range bits {
+			opts := sim.DefaultOptions()
+			opts.Pred.GshareBits = b
+			cells = append(cells, cell{sim.KindSST, w, opts})
+		}
+	}
+	outs, err := r.runCells(cells)
+	if err != nil {
+		return nil, err
+	}
 	headers := []string{"workload"}
 	for _, b := range bits {
 		headers = append(headers, fmt.Sprintf("IPC pht=%d", 1<<b), fmt.Sprintf("rollbacks pht=%d", 1<<b))
 	}
 	t := stats.NewTable("Figure 11: SST vs branch predictor size", headers...)
+	i := 0
 	for _, w := range specs {
 		row := []any{w.Name}
-		for _, b := range bits {
-			opts := sim.DefaultOptions()
-			opts.Pred.GshareBits = b
-			out, err := r.run(fmt.Sprintf("F11.%d", b), sim.KindSST, w, opts)
-			if err != nil {
-				return nil, err
-			}
-			st := sstStats(out)
-			row = append(row, out.IPC(), st.Rollbacks)
+		for range bits {
+			st := sstStats(outs[i])
+			row = append(row, outs[i].IPC(), st.Rollbacks)
+			i++
 		}
 		t.AddRow(row...)
 	}

@@ -50,19 +50,26 @@ func ConfigTable() *Result {
 
 // WorkloadTable regenerates Table 2: workload characterization, measured
 // on the in-order baseline (instruction mix, footprint, miss rates).
-func WorkloadTable(scale workload.Scale) (*Result, error) {
+// The in-order runs go through the runner's cache, so they are shared
+// with F1's baseline column.
+func (r *Runner) WorkloadTable(scale workload.Scale) (*Result, error) {
 	specs, err := workload.BuildAll(scale)
+	if err != nil {
+		return nil, err
+	}
+	opts := sim.DefaultOptions()
+	cells := make([]cell, 0, len(specs))
+	for _, w := range specs {
+		cells = append(cells, cell{sim.KindInOrder, w, opts})
+	}
+	outs, err := r.runCells(cells)
 	if err != nil {
 		return nil, err
 	}
 	t := stats.NewTable("Table 2: workload characterization (measured on the in-order core)",
 		"workload", "class", "stands in for", "insts", "loads%", "stores%", "branches%", "L1D miss%", "L2 miss%", "IPC(inorder)")
-	opts := sim.DefaultOptions()
-	for _, w := range specs {
-		out, err := sim.Run(sim.KindInOrder, w.Program, opts)
-		if err != nil {
-			return nil, fmt.Errorf("workload table: %s: %w", w.Name, err)
-		}
+	for i, w := range specs {
+		out := outs[i]
 		b := out.Core.Base()
 		l1 := out.Mach.Hier.L1D(0).Stats
 		l2 := out.Mach.Hier.L2().Stats

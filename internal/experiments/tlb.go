@@ -19,33 +19,39 @@ func (r *Runner) TLBSensitivity(scale workload.Scale) (*Result, error) {
 		return nil, err
 	}
 	kinds := []sim.Kind{sim.KindInOrder, sim.KindOOOLarge, sim.KindSST}
+	baseOpts := sim.DefaultOptions()
+	tlbOpts := sim.DefaultOptions()
+	tlbOpts.Hier.DTLB = mem.DefaultTLBConfig()
+	grid := make([]cell, 0, 2*len(specs)*len(kinds))
+	for _, w := range specs {
+		for _, k := range kinds {
+			grid = append(grid, cell{k, w, baseOpts}, cell{k, w, tlbOpts})
+		}
+	}
+	outs, err := r.runCells(grid)
+	if err != nil {
+		return nil, err
+	}
 	headers := []string{"workload", "DTLB miss%"}
 	for _, k := range kinds {
 		headers = append(headers, k.String()+" noTLB", k.String()+" TLB", k.String()+" slowdown%")
 	}
 	t := stats.NewTable("Figure 15 (extension): DTLB-miss tolerance (IPC and slowdown)", headers...)
+	i := 0
 	for _, w := range specs {
 		row := []any{w.Name}
 		missPct := 0.0
-		cells := []any{}
-		for _, k := range kinds {
-			base, err := r.run("F1", k, w, sim.DefaultOptions())
-			if err != nil {
-				return nil, err
-			}
-			opts := sim.DefaultOptions()
-			opts.Hier.DTLB = mem.DefaultTLBConfig()
-			out, err := r.run("F15", k, w, opts)
-			if err != nil {
-				return nil, err
-			}
+		cols := []any{}
+		for range kinds {
+			base, out := outs[i], outs[i+1]
+			i += 2
 			if tlb := out.Mach.Hier.DTLB(0); tlb != nil {
 				missPct = 100 * tlb.Stats.MissRate()
 			}
-			cells = append(cells, base.IPC(), out.IPC(), 100*(base.IPC()/out.IPC()-1))
+			cols = append(cols, base.IPC(), out.IPC(), 100*(base.IPC()/out.IPC()-1))
 		}
 		row = append(row, missPct)
-		row = append(row, cells...)
+		row = append(row, cols...)
 		t.AddRow(row...)
 	}
 	return &Result{

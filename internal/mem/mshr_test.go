@@ -1,0 +1,93 @@
+package mem
+
+import "testing"
+
+// TestMSHRExpiryBoundary pins the entry-lifetime convention the MLP
+// accounting leans on: a fill completing at cycle t is gone at t — the
+// data has arrived, so a cycle-t access is a fresh miss, not a merge.
+func TestMSHRExpiryBoundary(t *testing.T) {
+	m := NewMSHR(4)
+	m.Add(0x40, 10)
+	if got := m.Outstanding(9); got != 1 {
+		t.Errorf("Outstanding(9) = %d, want 1", got)
+	}
+	if ready, inFlight := m.Lookup(0x40, 9); !inFlight || ready != 10 {
+		t.Errorf("Lookup at 9 = (%d, %v), want (10, true)", ready, inFlight)
+	}
+	if m.Merges != 1 {
+		t.Errorf("Merges = %d, want 1", m.Merges)
+	}
+	// ready == now: the entry has expired.
+	if got := m.Outstanding(10); got != 0 {
+		t.Errorf("Outstanding(10) = %d, want 0", got)
+	}
+	if _, inFlight := m.Lookup(0x40, 10); inFlight {
+		t.Error("Lookup at ready cycle still in flight")
+	}
+	if m.Merges != 1 {
+		t.Errorf("expired lookup counted as merge: Merges = %d", m.Merges)
+	}
+}
+
+// TestMSHRAllocAtFull checks allocation under a full file: the access
+// stalls to the soonest-finishing entry's completion, and the stall is
+// counted exactly once per attempt.
+func TestMSHRAllocAtFull(t *testing.T) {
+	m := NewMSHR(2)
+	if got := m.AllocAt(1); got != 1 {
+		t.Errorf("empty AllocAt(1) = %d, want 1", got)
+	}
+	m.Add(0x40, 20)
+	m.Add(0x80, 12)
+	if got := m.AllocAt(5); got != 12 {
+		t.Errorf("full AllocAt(5) = %d, want soonest completion 12", got)
+	}
+	if m.FullStalls != 1 {
+		t.Errorf("FullStalls = %d, want 1", m.FullStalls)
+	}
+	// At the returned cycle the soonest entry has expired: a register
+	// is free and allocation proceeds without a further stall.
+	if got := m.AllocAt(12); got != 12 {
+		t.Errorf("AllocAt(12) = %d, want 12", got)
+	}
+	if m.FullStalls != 1 {
+		t.Errorf("free-slot alloc counted a stall: FullStalls = %d", m.FullStalls)
+	}
+}
+
+// TestMSHRMergeCounting checks that every same-line lookup while the
+// fill is outstanding merges (and counts), while other lines miss.
+func TestMSHRMergeCounting(t *testing.T) {
+	m := NewMSHR(4)
+	m.Add(0x100, 50)
+	for i := 0; i < 3; i++ {
+		if _, inFlight := m.Lookup(0x100, uint64(5+i)); !inFlight {
+			t.Fatalf("lookup %d not in flight", i)
+		}
+	}
+	if m.Merges != 3 {
+		t.Errorf("Merges = %d, want 3", m.Merges)
+	}
+	if _, inFlight := m.Lookup(0x140, 5); inFlight {
+		t.Error("different line merged")
+	}
+	if m.Merges != 3 {
+		t.Errorf("miss counted as merge: Merges = %d", m.Merges)
+	}
+}
+
+// TestMSHRBlockingCapacity: capacity <= 0 models a blocking cache with
+// a single implicit register.
+func TestMSHRBlockingCapacity(t *testing.T) {
+	m := NewMSHR(0)
+	if m.Cap() != 1 {
+		t.Fatalf("Cap = %d, want 1", m.Cap())
+	}
+	m.Add(0x40, 30)
+	if got := m.AllocAt(2); got != 30 {
+		t.Errorf("blocking AllocAt(2) = %d, want 30", got)
+	}
+	if m.FullStalls != 1 {
+		t.Errorf("FullStalls = %d, want 1", m.FullStalls)
+	}
+}

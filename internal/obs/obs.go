@@ -27,6 +27,8 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"rocksim/internal/stats"
 )
@@ -35,7 +37,9 @@ import (
 // timelines and Chrome counter tracks: one sample every N cycles.
 const DefaultSampleEvery = 64
 
-// Counter is a monotonically increasing count.
+// Counter is a monotonically increasing count. All operations are
+// atomic, so counters may be published from concurrent runs sharing a
+// registry.
 type Counter struct {
 	name string
 	v    uint64
@@ -45,19 +49,21 @@ type Counter struct {
 func (c *Counter) Name() string { return c.name }
 
 // Value returns the current count.
-func (c *Counter) Value() uint64 { return c.v }
+func (c *Counter) Value() uint64 { return atomic.LoadUint64(&c.v) }
 
 // Add increases the counter by n.
-func (c *Counter) Add(n uint64) { c.v += n }
+func (c *Counter) Add(n uint64) { atomic.AddUint64(&c.v, n) }
 
 // Inc increases the counter by one.
-func (c *Counter) Inc() { c.v++ }
+func (c *Counter) Inc() { atomic.AddUint64(&c.v, 1) }
 
 // Set overwrites the counter (used when publishing an externally
 // accumulated total).
-func (c *Counter) Set(v uint64) { c.v = v }
+func (c *Counter) Set(v uint64) { atomic.StoreUint64(&c.v, v) }
 
-// Gauge is an instantaneous value with a high-water mark.
+// Gauge is an instantaneous value with a high-water mark. All
+// operations are atomic, so gauges may be published from concurrent
+// runs sharing a registry.
 type Gauge struct {
 	name string
 	v    int64
@@ -68,16 +74,19 @@ type Gauge struct {
 func (g *Gauge) Name() string { return g.name }
 
 // Value returns the last set value.
-func (g *Gauge) Value() int64 { return g.v }
+func (g *Gauge) Value() int64 { return atomic.LoadInt64(&g.v) }
 
 // High returns the high-water mark.
-func (g *Gauge) High() int64 { return g.hi }
+func (g *Gauge) High() int64 { return atomic.LoadInt64(&g.hi) }
 
 // Set records a new value, tracking the high-water mark.
 func (g *Gauge) Set(v int64) {
-	g.v = v
-	if v > g.hi {
-		g.hi = v
+	atomic.StoreInt64(&g.v, v)
+	for {
+		hi := atomic.LoadInt64(&g.hi)
+		if v <= hi || atomic.CompareAndSwapInt64(&g.hi, hi, v) {
+			return
+		}
 	}
 }
 
@@ -111,9 +120,39 @@ func (t *Timeline) Len() int { return len(t.cyc) }
 // Point returns the i-th sample.
 func (t *Timeline) Point(i int) (cycle uint64, v int64) { return t.cyc[i], t.val[i] }
 
-// Registry holds one run's metrics. It is not safe for concurrent use:
-// the simulator is single-threaded by design (determinism).
+// mergeFrom interleaves o's samples into t in cycle order (stable: at
+// equal cycles t's existing points sort first). Used by Registry.Merge.
+func (t *Timeline) mergeFrom(o *Timeline) {
+	if o == nil || len(o.cyc) == 0 {
+		return
+	}
+	cyc := make([]uint64, 0, len(t.cyc)+len(o.cyc))
+	val := make([]int64, 0, len(t.val)+len(o.val))
+	i, j := 0, 0
+	for i < len(t.cyc) || j < len(o.cyc) {
+		if j >= len(o.cyc) || (i < len(t.cyc) && t.cyc[i] <= o.cyc[j]) {
+			cyc, val = append(cyc, t.cyc[i]), append(val, t.val[i])
+			i++
+		} else {
+			cyc, val = append(cyc, o.cyc[j]), append(val, o.val[j])
+			j++
+		}
+	}
+	t.cyc, t.val = cyc, val
+	if o.next > t.next {
+		t.next = o.next
+	}
+}
+
+// Registry holds one run's metrics. The registry itself — metric
+// lookup/creation, end-of-run publishing (counters, gauges, PutHist)
+// and the exporters — is safe for concurrent use, so parallel
+// experiment harnesses may publish finished runs into a shared
+// registry. Live histograms and timelines remain single-writer during
+// a run: give each concurrent run its own registry and fold them
+// together afterwards with Merge.
 type Registry struct {
+	mu          sync.Mutex
 	sampleEvery uint64
 	counters    map[string]*Counter
 	gauges      map[string]*Gauge
@@ -138,14 +177,22 @@ func (r *Registry) SetSampleEvery(n uint64) {
 	if n < 1 {
 		n = DefaultSampleEvery
 	}
+	r.mu.Lock()
 	r.sampleEvery = n
+	r.mu.Unlock()
 }
 
 // SampleEvery returns the timeline decimation.
-func (r *Registry) SampleEvery() uint64 { return r.sampleEvery }
+func (r *Registry) SampleEvery() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sampleEvery
+}
 
 // Counter returns (creating if needed) the named counter.
 func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if c, ok := r.counters[name]; ok {
 		return c
 	}
@@ -156,6 +203,8 @@ func (r *Registry) Counter(name string) *Counter {
 
 // Gauge returns (creating if needed) the named gauge.
 func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if g, ok := r.gauges[name]; ok {
 		return g
 	}
@@ -167,6 +216,8 @@ func (r *Registry) Gauge(name string) *Gauge {
 // Hist returns (creating if needed) the named histogram tracking values
 // 0..limit (larger observations clamp into the overflow bucket).
 func (r *Registry) Hist(name string, limit int) *stats.Hist {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if h, ok := r.hists[name]; ok {
 		return h
 	}
@@ -178,11 +229,15 @@ func (r *Registry) Hist(name string, limit int) *stats.Hist {
 // PutHist registers an externally owned histogram under name, merging
 // into any histogram already registered there. Models use this to
 // publish histograms they already maintain (queue occupancies) without
-// double-counting.
+// double-counting. The merge runs under the registry lock, so
+// concurrent finished runs may publish into one registry; the
+// histogram passed in must itself be quiescent.
 func (r *Registry) PutHist(name string, h *stats.Hist) {
 	if h == nil {
 		return
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if have, ok := r.hists[name]; ok {
 		have.Merge(h)
 		return
@@ -192,12 +247,67 @@ func (r *Registry) PutHist(name string, h *stats.Hist) {
 
 // Timeline returns (creating if needed) the named cycle-sampled series.
 func (r *Registry) Timeline(name string) *Timeline {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if t, ok := r.timelines[name]; ok {
 		return t
 	}
 	t := &Timeline{name: name, every: r.sampleEvery}
 	r.timelines[name] = t
 	return t
+}
+
+// Merge folds other's metrics into r, deterministically: counters add,
+// gauges adopt the later value and the larger high-water mark,
+// histograms merge losslessly (clamping only tail resolution), and
+// timelines interleave in cycle order. other must be quiescent — the
+// run that filled it has finished. This is how per-run registries from
+// a parallel sweep become one export: identical merge inputs produce
+// byte-identical exports regardless of worker scheduling.
+func (r *Registry) Merge(other *Registry) {
+	if other == nil || other == r {
+		return
+	}
+	other.mu.Lock()
+	counters := make(map[string]uint64, len(other.counters))
+	for n, c := range other.counters {
+		counters[n] = c.Value()
+	}
+	gauges := make(map[string]GaugeSnap, len(other.gauges))
+	for n, g := range other.gauges {
+		gauges[n] = GaugeSnap{Value: g.Value(), High: g.High()}
+	}
+	hists := make(map[string]*stats.Hist, len(other.hists))
+	for n, h := range other.hists {
+		hists[n] = h.Clone()
+	}
+	timelines := make(map[string]*Timeline, len(other.timelines))
+	for n, t := range other.timelines {
+		timelines[n] = t
+	}
+	other.mu.Unlock()
+
+	for _, n := range sortedKeys(counters) {
+		r.Counter(n).Add(counters[n])
+	}
+	for _, n := range sortedKeys(gauges) {
+		g := r.Gauge(n)
+		// Raise the high-water mark first, then adopt the value (a
+		// gauge's high is never below its value, so the second Set
+		// cannot lower the mark).
+		g.Set(gauges[n].High)
+		g.Set(gauges[n].Value)
+	}
+	for _, n := range sortedKeys(hists) {
+		r.PutHist(n, hists[n])
+	}
+	for _, n := range sortedKeys(timelines) {
+		o := timelines[n]
+		t := r.Timeline(n)
+		r.mu.Lock()
+		t.mergeFrom(o)
+		r.mu.Unlock()
+	}
 }
 
 // HistSnap is the exported summary of one histogram.
@@ -235,14 +345,16 @@ type Snapshot struct {
 
 // Snapshot flattens the registry.
 func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	s := Snapshot{Counters: make(map[string]uint64, len(r.counters))}
 	for n, c := range r.counters {
-		s.Counters[n] = c.v
+		s.Counters[n] = c.Value()
 	}
 	if len(r.gauges) > 0 {
 		s.Gauges = make(map[string]GaugeSnap, len(r.gauges))
 		for n, g := range r.gauges {
-			s.Gauges[n] = GaugeSnap{Value: g.v, High: g.hi}
+			s.Gauges[n] = GaugeSnap{Value: g.Value(), High: g.High()}
 		}
 	}
 	if len(r.hists) > 0 {
@@ -284,6 +396,8 @@ func promName(name string) string {
 // Histograms export count/mean/max and the p50/p95/p99 quantiles as
 // separate gauges; timelines are omitted (they are series, not scrapes).
 func (r *Registry) WriteProm(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	var err error
 	p := func(format string, args ...any) {
 		if err == nil {
@@ -292,12 +406,12 @@ func (r *Registry) WriteProm(w io.Writer) error {
 	}
 	for _, n := range sortedKeys(r.counters) {
 		pn := promName(n)
-		p("# TYPE %s counter\n%s %d\n", pn, pn, r.counters[n].v)
+		p("# TYPE %s counter\n%s %d\n", pn, pn, r.counters[n].Value())
 	}
 	for _, n := range sortedKeys(r.gauges) {
 		g := r.gauges[n]
 		pn := promName(n)
-		p("# TYPE %s gauge\n%s %d\n%s_high %d\n", pn, pn, g.v, pn, g.hi)
+		p("# TYPE %s gauge\n%s %d\n%s_high %d\n", pn, pn, g.Value(), pn, g.High())
 	}
 	for _, n := range sortedKeys(r.hists) {
 		h := r.hists[n]

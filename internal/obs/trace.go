@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 )
 
 // Trace accumulates microarchitectural events for export in the Chrome
@@ -21,7 +22,15 @@ import (
 //   - instants — point events (rollbacks, scout entries, tx aborts);
 //   - counter samples — numeric tracks (queue occupancies), exported as
 //     "C" events.
+//
+// All methods are safe for concurrent use; event ordering in the
+// export is by timestamp, so concurrent publishers of disjoint time
+// ranges (e.g. per-run collectors flushed after each run) still
+// produce deterministic output. Interleaved publishing at equal
+// timestamps falls back to arrival order — keep one Trace per run and
+// publish sequentially when byte-determinism matters.
 type Trace struct {
+	mu       sync.Mutex
 	spans    []span
 	open     map[spanKey]int // index into spans with end unset
 	instants []instant
@@ -66,6 +75,8 @@ func (t *Trace) nextSeq() int {
 // Begin opens a span identified by (cat, id). A Begin for an id that is
 // already open is ignored.
 func (t *Trace) Begin(now uint64, cat, name string, id uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	k := spanKey{cat, id}
 	if _, ok := t.open[k]; ok {
 		return
@@ -77,6 +88,8 @@ func (t *Trace) Begin(now uint64, cat, name string, id uint64) {
 // End closes the span opened under (cat, id). Ends without a matching
 // Begin are ignored.
 func (t *Trace) End(now uint64, cat string, id uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	k := spanKey{cat, id}
 	i, ok := t.open[k]
 	if !ok {
@@ -89,22 +102,30 @@ func (t *Trace) End(now uint64, cat string, id uint64) {
 
 // Span records a completed interval [start, end).
 func (t *Trace) Span(start, end uint64, cat, name string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.spans = append(t.spans, span{cat: cat, name: name, start: start, end: end, closed: true, seq: t.nextSeq()})
 }
 
 // Instant records a point event.
 func (t *Trace) Instant(ts uint64, cat, name, detail string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.instants = append(t.instants, instant{ts: ts, cat: cat, name: name, detail: detail, seq: t.nextSeq()})
 }
 
 // CounterSample records one point of a numeric track.
 func (t *Trace) CounterSample(ts uint64, name string, v int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.samples = append(t.samples, counterSample{ts: ts, name: name, v: v, seq: t.nextSeq()})
 }
 
 // CloseOpen closes every still-open span at the given end time (used at
 // the end of a run for checkpoints that never committed).
 func (t *Trace) CloseOpen(end uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	for k, i := range t.open {
 		t.spans[i].end = end
 		t.spans[i].closed = true
@@ -113,7 +134,11 @@ func (t *Trace) CloseOpen(end uint64) {
 }
 
 // Events returns the number of buffered events (for tests and sizing).
-func (t *Trace) Events() int { return len(t.spans) + len(t.instants) + len(t.samples) }
+func (t *Trace) Events() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans) + len(t.instants) + len(t.samples)
+}
 
 // chromeEvent is one trace_event record.
 type chromeEvent struct {
@@ -141,6 +166,8 @@ const (
 // nested because overlapping spans of one category are assigned to
 // distinct lanes.
 func (t *Trace) WriteChrome(w io.Writer) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	// Deterministic span order: by start cycle, then insertion order.
 	spans := make([]span, 0, len(t.spans))
 	for _, s := range t.spans {

@@ -88,6 +88,19 @@ type Options struct {
 	Metrics *obs.Registry
 }
 
+// Fingerprint returns a canonical string covering every simulation-
+// affecting field of the options. The observability hooks (Probe, Sink,
+// Metrics) are excluded: they observe a run without changing its
+// timing. Two Options with equal fingerprints produce identical
+// outcomes on the same program, so harnesses use the fingerprint as a
+// run-cache key.
+func (o Options) Fingerprint() string {
+	o.Probe = nil
+	o.Sink = nil
+	o.Metrics = nil
+	return fmt.Sprintf("%+v", o)
+}
+
 // DefaultMaxCycles bounds runaway simulations.
 const DefaultMaxCycles = 2_000_000_000
 
@@ -194,7 +207,7 @@ func Run(k Kind, prog *asm.Program, opts Options) (Outcome, error) {
 		limit = DefaultMaxCycles
 	}
 	if err := cpu.Run(c, limit); err != nil {
-		return Outcome{}, fmt.Errorf("sim: %v on %v: %w", k, prog.Entry, err)
+		return Outcome{}, fmt.Errorf("sim: %v on %s: %w", k, prog.Desc(), err)
 	}
 	out := Outcome{
 		Kind:    k,

@@ -83,20 +83,36 @@ func (h *Hist) Merge(other *Hist) {
 	}
 }
 
+// Clone returns an independent copy of the histogram.
+func (h *Hist) Clone() *Hist {
+	return &Hist{
+		buckets: append([]uint64(nil), h.buckets...),
+		n:       h.n,
+		sum:     h.sum,
+		max:     h.max,
+	}
+}
+
 // Quantile returns the smallest bucket value v such that at least
-// q (0..1) of observations are <= v.
+// q (0..1) of observations are <= v — the nearest-rank quantile: the
+// observation of rank ceil(q*n), clamped to [1, n]. The epsilon
+// absorbs binary-float error in q*n (e.g. 0.95*20) so exact ranks stay
+// exact.
 func (h *Hist) Quantile(q float64) int {
 	if h.n == 0 {
 		return 0
 	}
-	target := uint64(q * float64(h.n))
-	if target >= h.n {
-		target = h.n - 1
+	rank := uint64(math.Ceil(q*float64(h.n) - 1e-9))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.n {
+		rank = h.n
 	}
 	var cum uint64
 	for v, c := range h.buckets {
 		cum += c
-		if cum > target {
+		if cum >= rank {
 			return v
 		}
 	}

@@ -44,6 +44,62 @@ func TestHistQuantile(t *testing.T) {
 	}
 }
 
+// TestHistQuantileBoundaries pins the nearest-rank definition at the
+// small-n boundary cases that the original implementation got wrong:
+// with two observations, the median is the FIRST (rank ceil(0.5*2)=1),
+// not the second.
+func TestHistQuantileBoundaries(t *testing.T) {
+	one := NewHist(10)
+	one.Add(7)
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := one.Quantile(q); got != 7 {
+			t.Errorf("n=1 Quantile(%g) = %d, want 7", q, got)
+		}
+	}
+
+	two := NewHist(10)
+	two.Add(3)
+	two.Add(9)
+	cases := []struct {
+		q    float64
+		want int
+	}{
+		{0, 3},   // rank clamps up to 1
+		{0.5, 3}, // ceil(0.5*2) = 1 -> first observation
+		{0.51, 9},
+		{1, 9}, // rank n -> last observation
+	}
+	for _, c := range cases {
+		if got := two.Quantile(c.q); got != c.want {
+			t.Errorf("n=2 Quantile(%g) = %d, want %d", c.q, got, c.want)
+		}
+	}
+
+	// Exact ranks must not be perturbed by binary-float error in q*n:
+	// 0.95*20 = 19.000000000000004 in float64, rank must stay 19.
+	twenty := NewHist(30)
+	for v := 1; v <= 20; v++ {
+		twenty.Add(v)
+	}
+	if got := twenty.Quantile(0.95); got != 19 {
+		t.Errorf("n=20 Quantile(0.95) = %d, want 19", got)
+	}
+}
+
+func TestHistClone(t *testing.T) {
+	h := NewHist(8)
+	h.Add(2)
+	h.Add(5)
+	c := h.Clone()
+	h.Add(7)
+	if c.Count() != 2 || c.Max() != 5 {
+		t.Errorf("clone mutated: count=%d max=%d", c.Count(), c.Max())
+	}
+	if h.Count() != 3 {
+		t.Errorf("original count = %d", h.Count())
+	}
+}
+
 // TestHistMeanProperty: the histogram mean matches a direct average for
 // any in-range sample set.
 func TestHistMeanProperty(t *testing.T) {

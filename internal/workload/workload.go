@@ -146,7 +146,14 @@ func Build(name string, s Scale) (*Spec, error) {
 	if !ok {
 		return nil, fmt.Errorf("workload: unknown workload %q", name)
 	}
-	return g(s)
+	w, err := g(s)
+	if err != nil {
+		return nil, err
+	}
+	if w.Program != nil && w.Program.Name == "" {
+		w.Program.Name = w.Name
+	}
+	return w, nil
 }
 
 // BuildAll generates every workload in Names order.
