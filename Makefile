@@ -1,23 +1,32 @@
-# Verification tiers. tier1 is the gate every change must keep green;
-# tier2 adds vet, the race detector (the experiment harness runs
-# simulations on a worker pool, so -race now guards real concurrency)
-# and a parallel-determinism smoke that diffs sstbench -j 4 against
-# -j 1; determinism re-runs the observability tests twice in one
-# process to prove the exports are byte-stable across map-iteration
-# orders.
+# Verification tiers. tier1 is the gate every change must keep green
+# (build, vet, tests); tier2 adds the race detector (the experiment
+# harness runs simulations on a worker pool, so -race now guards real
+# concurrency), a parallel-determinism smoke that diffs sstbench -j 4
+# against -j 1, and the fault-fuzz smoke (fixed seeds, bounded
+# wall-clock) of the speculation-invisibility oracle; determinism
+# re-runs the observability tests twice in one process to prove the
+# exports are byte-stable across map-iteration orders.
 
 GO ?= go
 
-.PHONY: all tier1 tier2 race smoke-parallel determinism ci bench-overhead golden
+.PHONY: all tier1 tier2 race smoke-parallel fault-fuzz determinism ci bench-overhead golden
 
 all: tier1
 
 tier1:
 	$(GO) build ./...
+	$(GO) vet ./...
 	$(GO) test ./...
 
 race:
 	$(GO) test -race -timeout 20m ./...
+
+# Fault-injection smoke: fixed seeds through the speculation-
+# invisibility oracle (see docs/ROBUSTNESS.md). The full 200-seed sweep
+# runs as TestFaultFuzzEquivalence in the ordinary test suite; this
+# target is the quick, always-reproducible subset for pre-commit runs.
+fault-fuzz:
+	$(GO) test ./internal/sim -run 'TestFaultFuzzSmoke|TestFaultOracleTeeth' -count=1 -timeout 10m
 
 # Prove the -j worker pool changes nothing but wall clock: regenerate
 # every experiment at test scale serially and with 4 workers and
@@ -30,8 +39,7 @@ smoke-parallel:
 	diff -u /tmp/sstbench-j1.txt /tmp/sstbench-j4.txt
 	@echo "smoke-parallel: -j 1 and -j 4 output identical"
 
-tier2: race smoke-parallel
-	$(GO) vet ./...
+tier2: race smoke-parallel fault-fuzz
 
 determinism:
 	$(GO) test -run TestObs -count=2 ./...

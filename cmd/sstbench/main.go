@@ -24,7 +24,9 @@ import (
 	"time"
 
 	"rocksim/internal/experiments"
+	"rocksim/internal/faults"
 	"rocksim/internal/obs"
+	"rocksim/internal/sim"
 	"rocksim/internal/workload"
 )
 
@@ -35,6 +37,8 @@ func main() {
 	chart := flag.Bool("chart", false, "also render each figure as ASCII bar charts")
 	metricsOut := flag.String("metrics", "", "write per-experiment wall-clock and row counters as flat JSON ('-' = stdout)")
 	chromeOut := flag.String("chrome-trace", "", "write a Chrome trace_event JSON of per-experiment wall-clock spans (ts = µs since start)")
+	faultsFlag := flag.String("faults", "", "deterministic fault plan applied to every grid cell (faults.Parse syntax; see docs/ROBUSTNESS.md)")
+	timeout := flag.Duration("timeout", 0, "wall-clock watchdog per simulation cell (e.g. 30s; 0 = none); a tripped cell renders as ERR(deadline)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
@@ -62,6 +66,19 @@ func main() {
 
 	r := experiments.NewRunner()
 	r.SetJobs(*jobs)
+	if *faultsFlag != "" || *timeout > 0 {
+		opts := sim.DefaultOptions()
+		opts.Timeout = *timeout
+		if *faultsFlag != "" {
+			plan, err := faults.Parse(*faultsFlag)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sstbench:", err)
+				os.Exit(2)
+			}
+			opts.Faults = plan
+		}
+		r.SetBaseOptions(opts)
+	}
 	var reg *obs.Registry
 	if *metricsOut != "" {
 		reg = obs.NewRegistry()

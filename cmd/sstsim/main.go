@@ -15,10 +15,12 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 
 	"rocksim/internal/asm"
 	"rocksim/internal/core"
+	"rocksim/internal/faults"
 	"rocksim/internal/inorder"
 	"rocksim/internal/obs"
 	"rocksim/internal/ooo"
@@ -36,6 +38,8 @@ func main() {
 	ckpt := flag.Int("ckpt", -1, "override SST checkpoint count")
 	ssb := flag.Int("ssb", -1, "override SST store-buffer size")
 	memlat := flag.Int("memlat", -1, "override DRAM latency (cycles)")
+	faultsFlag := flag.String("faults", "", "deterministic fault plan, e.g. 'seed=7;ckpt-deny@100-200;mem-jitter@0-:16' or 'random:SEED' (see docs/ROBUSTNESS.md)")
+	timeout := flag.Duration("timeout", 0, "wall-clock watchdog per run (e.g. 30s; 0 = none)")
 	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON report instead of text")
 	pipeview := flag.Uint64("pipeview", 0, "print a per-cycle pipeline trace for the first N cycles (SST-family cores only)")
 	metricsOut := flag.String("metrics", "", "write run metrics as flat JSON to this file ('-' = stdout)")
@@ -92,6 +96,14 @@ func main() {
 	}
 	if *pipeview > 0 {
 		opts.Probe = &core.PipeView{W: os.Stdout, MaxCycles: *pipeview}
+	}
+	opts.Timeout = *timeout
+	if *faultsFlag != "" {
+		plan, err := parseFaults(*faultsFlag)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Faults = plan
 	}
 
 	var specs []*workload.Spec
@@ -296,6 +308,21 @@ func report(w *workload.Spec, out sim.Outcome) {
 			s.StallCycles[inorder.StallStoreBuffer])
 	}
 	fmt.Println()
+}
+
+// parseFaults parses the -faults flag: either a literal plan string
+// (faults.Parse syntax) or "random:SEED" for a generated benign plan.
+func parseFaults(s string) (*faults.Plan, error) {
+	if rest, ok := strings.CutPrefix(s, "random:"); ok {
+		seed, err := strconv.ParseInt(rest, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -faults random seed %q: %v", rest, err)
+		}
+		// A modest horizon keeps the generated events inside the span a
+		// typical run actually executes.
+		return faults.Random(seed, 1_000_000), nil
+	}
+	return faults.Parse(s)
 }
 
 func fatal(err error) {

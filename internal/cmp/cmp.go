@@ -18,8 +18,9 @@ import (
 )
 
 // BuildCore constructs a core model over the machine; the harness
-// supplies this so the chip is core-model-agnostic.
-type BuildCore func(id int, m *cpu.Machine, entry uint64) cpu.Core
+// supplies this so the chip is core-model-agnostic. A build error (an
+// unknown core kind, say) aborts chip construction instead of crashing.
+type BuildCore func(id int, m *cpu.Machine, entry uint64) (cpu.Core, error)
 
 // Chip is one simulated CMP.
 type Chip struct {
@@ -47,8 +48,12 @@ func NewPrivate(hcfg mem.HierConfig, pcfg bpred.Config, progs []*asm.Program, bu
 		p.Load(m)
 		hier.SetAddressSalt(i, uint64(i)<<33)
 		mach := &cpu.Machine{Mem: m, Hier: hier, CoreID: i, Pred: bpred.New(pcfg)}
+		cr, err := build(i, mach, p.Entry)
+		if err != nil {
+			return nil, fmt.Errorf("cmp: core %d: %w", i, err)
+		}
 		c.Machines = append(c.Machines, mach)
-		c.Cores = append(c.Cores, build(i, mach, p.Entry))
+		c.Cores = append(c.Cores, cr)
 	}
 	return c, nil
 }
@@ -70,8 +75,12 @@ func NewShared(hcfg mem.HierConfig, pcfg bpred.Config, prog *asm.Program, entrie
 	c := &Chip{Hier: hier}
 	for i, e := range entries {
 		mach := &cpu.Machine{Mem: shared, Hier: hier, CoreID: i, Pred: bpred.New(pcfg), Coherent: true}
+		cr, err := build(i, mach, e)
+		if err != nil {
+			return nil, fmt.Errorf("cmp: core %d: %w", i, err)
+		}
 		c.Machines = append(c.Machines, mach)
-		c.Cores = append(c.Cores, build(i, mach, e))
+		c.Cores = append(c.Cores, cr)
 	}
 	return c, nil
 }

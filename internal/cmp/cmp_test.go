@@ -23,8 +23,8 @@ func hcfg() mem.HierConfig {
 	}
 }
 
-func buildInOrder(id int, m *cpu.Machine, entry uint64) cpu.Core {
-	return inorder.New(m, inorder.DefaultConfig(), entry)
+func buildInOrder(id int, m *cpu.Machine, entry uint64) (cpu.Core, error) {
+	return inorder.New(m, inorder.DefaultConfig(), entry), nil
 }
 
 func simpleProg(t *testing.T, result int64) *asm.Program {
@@ -162,8 +162,8 @@ func TestSharedChipSSTProducerConsumer(t *testing.T) {
 	prod, _ := prog.Symbol("producer")
 	cons, _ := prog.Symbol("consumer")
 	chip, err := NewShared(hcfg(), bpred.DefaultConfig(), prog, []uint64{prod, cons},
-		func(id int, m *cpu.Machine, entry uint64) cpu.Core {
-			return core.New(m, core.DefaultConfig(), entry)
+		func(id int, m *cpu.Machine, entry uint64) (cpu.Core, error) {
+			return core.New(m, core.DefaultConfig(), entry), nil
 		})
 	if err != nil {
 		t.Fatal(err)

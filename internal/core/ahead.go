@@ -298,7 +298,14 @@ func (c *Core) deferResult(rd uint8, val int64, ready uint64, pc uint64, seq uin
 // deferToDQ appends an instruction to the Deferred Queue. Returns false
 // when the instruction could not be consumed (DQ full → stall or scout).
 func (c *Core) deferToDQ(in isa.Inst, pc uint64, seq uint64, vals [3]int64, isNA [3]bool, predTaken bool, predTarget uint64) bool {
-	if len(c.dq) >= c.cfg.DQSize {
+	limit := c.cfg.DQSize
+	if c.flt != nil {
+		limit = c.flt.ClampDQ(c.cycle, limit)
+	}
+	if len(c.dq) >= limit {
+		// The scout decision stays keyed on the *configured* size: an
+		// injected clamp models a transiently unusable queue, not the
+		// scout ablation's absent one.
 		if c.cfg.ScoutOnDQFull || c.cfg.DQSize == 0 {
 			c.enterScout()
 		} else {
@@ -380,6 +387,9 @@ func (c *Core) aheadBranch(in isa.Inst, pc uint64, seq uint64, vals [3]int64, is
 	if anyNA {
 		// Deferred branch: follow the prediction; replay verifies.
 		predTaken := c.m.Pred.PredictDir(pc)
+		if c.flt.FlipPrediction(now) {
+			predTaken = !predTaken
+		}
 		if c.mode != ModeScout {
 			if c.cfg.CheckpointOnDeferredBranch {
 				// Bound the rollback to the branch itself.
@@ -399,6 +409,9 @@ func (c *Core) aheadBranch(in isa.Inst, pc uint64, seq uint64, vals [3]int64, is
 	}
 	taken := isa.BranchTaken(in.Op, vals[0], vals[1])
 	pred := c.m.Pred.PredictDir(pc)
+	if c.flt.FlipPrediction(now) {
+		pred = !pred
+	}
 	mis := pred != taken
 	c.m.Pred.UpdateDir(pc, taken, mis)
 	c.stats.Branches++

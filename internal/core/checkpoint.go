@@ -13,6 +13,11 @@ func (c *Core) takeCheckpoint(pc uint64) bool {
 	if len(c.ckpts) >= c.cfg.Checkpoints {
 		return false
 	}
+	if c.flt.DenyCheckpoint(c.cycle) {
+		// Injected allocation failure: identical to checkpoint exhaustion,
+		// so callers fall back to their no-checkpoint paths.
+		return false
+	}
 	ck := checkpoint{
 		startSeq:   c.seq,
 		pc:         pc,
@@ -131,7 +136,13 @@ func (c *Core) drainSSB(boundary uint64, now uint64) {
 // after a pipeline-refill bubble.
 func (c *Core) rollback(idx int, now uint64, cause RollbackCause) {
 	ck := c.ckpts[idx]
-	c.regs = ck.regs
+	if c.flt.SkipRestoreRegs(now) {
+		// Deliberately broken restore (faults.SkipRestore): keep the
+		// speculative register values. Exists only so the invisibility
+		// oracle can be proven to catch a rollback bug.
+	} else {
+		c.regs = ck.regs
+	}
 	c.na = ck.na
 	c.lastWriter = ck.lastWriter
 	c.readyAt = ck.readyAt
@@ -277,7 +288,11 @@ func (c *Core) readSetConflict(storeSeq uint64, addr uint64, size int) bool {
 // ssbInsert adds a speculative store in sequence order. Reports false if
 // the buffer is full.
 func (c *Core) ssbInsert(e ssbEntry) bool {
-	if c.cfg.SSBSize <= 0 || len(c.ssb) >= c.cfg.SSBSize {
+	limit := c.cfg.SSBSize
+	if c.flt != nil {
+		limit = c.flt.ClampSSB(c.cycle, limit)
+	}
+	if limit <= 0 || len(c.ssb) >= limit {
 		return false
 	}
 	i := len(c.ssb)

@@ -25,6 +25,7 @@ package core
 
 import (
 	"rocksim/internal/cpu"
+	"rocksim/internal/faults"
 	"rocksim/internal/isa"
 	"rocksim/internal/obs"
 	"rocksim/internal/stats"
@@ -193,6 +194,7 @@ const (
 	RbSSB                           // store buffer overflow during replay
 	RbScout                         // scheduled scout-mode rollback
 	RbMemOrder                      // deferred store conflicted with an ahead load
+	RbInjected                      // spurious rollback forced by a fault plan
 	NumRollbackCauses
 )
 
@@ -208,6 +210,8 @@ func (r RollbackCause) String() string {
 		return "scout"
 	case RbMemOrder:
 		return "mem-order"
+	case RbInjected:
+		return "injected"
 	}
 	return "?"
 }
@@ -357,6 +361,11 @@ type Core struct {
 	sink obs.Sink
 	occ  [4]int
 
+	// flt, when set, is consulted at the speculation decision points
+	// (checkpoint allocation, DQ/SSB insertion, deferred-branch
+	// prediction, rollback) and may perturb them. Nil injects nothing.
+	flt *faults.Injector
+
 	done  bool
 	err   error
 	cycle uint64
@@ -424,6 +433,12 @@ func (c *Core) Mode() Mode { return c.mode }
 // speculating it reflects speculative state.
 func (c *Core) Regs() [isa.NumRegs]int64 { return c.regs }
 
+// SetFaults installs a fault injector (see internal/faults). Pass nil
+// to disable. Injected faults perturb microarchitectural decisions only;
+// the speculation machinery must keep them architecturally invisible
+// (enforced by internal/sim's fault-fuzz oracle).
+func (c *Core) SetFaults(in *faults.Injector) { c.flt = in }
+
 // Step advances the core one cycle.
 func (c *Core) Step() {
 	now := c.cycle
@@ -431,6 +446,15 @@ func (c *Core) Step() {
 	c.deliver(now)
 	if c.tx.active && c.tx.abort != 0 {
 		c.txAbort(now)
+	}
+	if c.flt != nil && c.mode == ModeSpec && !c.tx.active && len(c.ckpts) > 0 &&
+		c.flt.WantSpuriousRollback(now) {
+		// A scheduled transient fault: squash the youngest epoch. The
+		// event stays armed until a cycle with live speculation to roll
+		// back (and never fires inside a transaction, whose checkpoint is
+		// owned by the HTM machinery).
+		c.rollback(len(c.ckpts)-1, now, RbInjected)
+		c.flt.RollbackApplied(now)
 	}
 
 	replayed := 0

@@ -203,8 +203,8 @@ func TestTxConflictTwoCores(t *testing.T) {
 	w1, _ := prog.Symbol("worker1")
 	chip, err := cmp.NewShared(testHier(), bpred.DefaultConfig(), prog,
 		[]uint64{w0, w1},
-		func(id int, m *cpu.Machine, entry uint64) cpu.Core {
-			return New(m, DefaultConfig(), entry)
+		func(id int, m *cpu.Machine, entry uint64) (cpu.Core, error) {
+			return New(m, DefaultConfig(), entry), nil
 		})
 	if err != nil {
 		t.Fatal(err)

@@ -8,6 +8,7 @@
 package cpu
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -144,11 +145,72 @@ func (m *Machine) StoreVisible(addr uint64) {
 // ErrCycleLimit is returned by Run when the cycle budget is exhausted.
 var ErrCycleLimit = errors.New("cpu: cycle limit exceeded")
 
+// ErrLivelock is returned by RunCtx when the core makes no architectural
+// progress for a whole livelock window: the simulated machine is
+// spinning (a model bug, a pathological fault plan) and would otherwise
+// burn the full cycle budget before failing.
+var ErrLivelock = errors.New("cpu: no forward progress (livelock)")
+
+// ErrDeadline is returned by RunCtx when the run's context expires (a
+// wall-clock watchdog) before the program halts.
+var ErrDeadline = errors.New("cpu: run deadline exceeded")
+
+// RunConfig bounds a watchdogged run (see RunCtx).
+type RunConfig struct {
+	// MaxCycles bounds the run in simulated cycles (0 = unbounded).
+	MaxCycles uint64
+	// LivelockWindow errors the run when the core shows no activity —
+	// no retire, load, store or branch execution — for this many
+	// consecutive cycles (0 = detector off). Retirement alone is too
+	// strict a progress signal: a checkpointed core can legitimately run
+	// millions of cycles of speculative work before its first bulk
+	// commit, but during that time it is executing memory operations,
+	// which the activity counter sees. A wedged core advances nothing.
+	LivelockWindow uint64
+	// CheckEvery is the cycle granularity of the context and livelock
+	// checks (0 = a sensible default). Checks are off the per-cycle path;
+	// detection latency is at most one check interval.
+	CheckEvery uint64
+}
+
 // Run steps the core until it halts or maxCycles elapse.
 func Run(c Core, maxCycles uint64) error {
+	return RunCtx(context.Background(), c, RunConfig{MaxCycles: maxCycles})
+}
+
+// RunCtx steps the core until it halts, with three watchdogs: the
+// simulated-cycle budget, the context's wall-clock deadline (or
+// cancellation), and a no-forward-progress livelock detector. Every
+// returned error reports the cycle and retire counts at failure so a
+// hung run is attributable.
+func RunCtx(ctx context.Context, c Core, cfg RunConfig) error {
+	check := cfg.CheckEvery
+	if check == 0 {
+		check = 4096
+	}
+	if cfg.LivelockWindow > 0 && check > cfg.LivelockWindow/2 {
+		// Keep detection latency within half a window.
+		check = cfg.LivelockWindow/2 + 1
+	}
+	lastWork := coreWork(c)
+	lastProgress := c.Cycle()
+	next := c.Cycle() + check
 	for !c.Done() {
-		if c.Cycle() >= maxCycles {
+		if cfg.MaxCycles > 0 && c.Cycle() >= cfg.MaxCycles {
 			return fmt.Errorf("%w (%d cycles, %d retired)", ErrCycleLimit, c.Cycle(), c.Retired())
+		}
+		if c.Cycle() >= next {
+			next = c.Cycle() + check
+			if ctx != nil && ctx.Err() != nil {
+				return fmt.Errorf("%w at cycle %d (%d retired): %v", ErrDeadline, c.Cycle(), c.Retired(), ctx.Err())
+			}
+			if w := coreWork(c); w != lastWork {
+				lastWork = w
+				lastProgress = c.Cycle()
+			} else if cfg.LivelockWindow > 0 && c.Cycle()-lastProgress >= cfg.LivelockWindow {
+				return fmt.Errorf("%w: no activity in %d cycles (cycle %d, %d retired)",
+					ErrLivelock, c.Cycle()-lastProgress, c.Cycle(), c.Retired())
+			}
 		}
 		c.Step()
 		if err := c.Err(); err != nil {
@@ -156,4 +218,13 @@ func Run(c Core, maxCycles uint64) error {
 		}
 	}
 	return nil
+}
+
+// coreWork is the livelock detector's monotonic activity counter:
+// anything the core executes — architecturally or speculatively — counts
+// as forward motion. A genuinely wedged core (a lost memory response, a
+// stalled pipeline that will never refill) advances none of these.
+func coreWork(c Core) uint64 {
+	s := c.Base()
+	return s.Retired + s.Loads + s.Stores + s.Branches
 }

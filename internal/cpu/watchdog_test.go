@@ -1,0 +1,83 @@
+package cpu
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// busyCore spins forever but shows activity (loads advance every cycle):
+// the livelock detector must NOT trip — only the cycle budget may.
+type busyCore struct {
+	cycles uint64
+	stats  BaseStats
+}
+
+func (b *busyCore) Step()            { b.cycles++; b.stats.Loads++ }
+func (b *busyCore) Cycle() uint64    { return b.cycles }
+func (b *busyCore) Done() bool       { return false }
+func (b *busyCore) Retired() uint64  { return 0 }
+func (b *busyCore) Base() *BaseStats { return &b.stats }
+func (b *busyCore) Err() error       { return nil }
+
+func TestRunCtxLivelock(t *testing.T) {
+	c := &stuckCore{}
+	err := RunCtx(context.Background(), c, RunConfig{
+		MaxCycles:      10_000_000,
+		LivelockWindow: 1000,
+	})
+	if !errors.Is(err, ErrLivelock) {
+		t.Fatalf("stuck core: want ErrLivelock, got %v", err)
+	}
+	// Detection latency is bounded: window + one check interval, far
+	// below the cycle budget.
+	if c.cycles > 10_000 {
+		t.Errorf("livelock detected only after %d cycles (window 1000)", c.cycles)
+	}
+}
+
+func TestRunCtxLivelockIgnoresBusyCore(t *testing.T) {
+	err := RunCtx(context.Background(), &busyCore{}, RunConfig{
+		MaxCycles:      50_000,
+		LivelockWindow: 1000,
+	})
+	if !errors.Is(err, ErrCycleLimit) {
+		t.Fatalf("busy core: want ErrCycleLimit (not livelock), got %v", err)
+	}
+}
+
+func TestRunCtxDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := RunCtx(ctx, &stuckCore{}, RunConfig{})
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("want ErrDeadline, got %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Errorf("deadline enforcement took %v", time.Since(start))
+	}
+}
+
+func TestRunCtxCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: first check must abort the run
+	if err := RunCtx(ctx, &stuckCore{}, RunConfig{}); !errors.Is(err, ErrDeadline) {
+		t.Fatalf("want ErrDeadline on cancelled context, got %v", err)
+	}
+}
+
+func TestRunCtxErrorsAttributed(t *testing.T) {
+	err := RunCtx(context.Background(), &stuckCore{}, RunConfig{MaxCycles: 64})
+	if err == nil || !errors.Is(err, ErrCycleLimit) {
+		t.Fatalf("want ErrCycleLimit, got %v", err)
+	}
+	// The message must carry the cycle and retire counts for attribution.
+	for _, want := range []string{"cycles", "retired"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q lacks %q", err, want)
+		}
+	}
+}

@@ -31,7 +31,7 @@ func (r *Runner) CMPScaling(scale workload.Scale) (*Result, error) {
 	}
 	t := stats.NewTable("Figure 9: CMP throughput scaling (commercial mix)", headers...)
 
-	opts := sim.DefaultOptions()
+	opts := r.BaseOptions()
 	// Build each count's program mix up front (cheap, and shared
 	// read-only by the chip runs): round-robin over the commercial suite.
 	mixes := make([][]*asm.Program, len(counts))
@@ -48,27 +48,28 @@ func (r *Runner) CMPScaling(scale workload.Scale) (*Result, error) {
 	}
 	// One pool job per (count, kind) chip run; rows assemble in order.
 	throughput := make([]float64, len(counts)*len(kinds))
-	err := r.forEach(len(throughput), func(i int) error {
+	errs := r.forEachErrs(len(throughput), func(i int) error {
 		n, k := counts[i/len(kinds)], kinds[i%len(kinds)]
 		chip, err := cmp.NewPrivate(opts.Hier, opts.Pred, mixes[i/len(kinds)],
-			func(id int, m *cpu.Machine, entry uint64) cpu.Core {
+			func(id int, m *cpu.Machine, entry uint64) (cpu.Core, error) {
 				return sim.NewCore(k, m, opts, entry)
 			})
 		if err != nil {
 			return err
 		}
-		if err := chip.Run(sim.DefaultMaxCycles); err != nil {
+		if err := chip.Run(opts.CycleLimit()); err != nil {
 			return fmt.Errorf("cmp scaling: %v x%d: %w", k, n, err)
 		}
 		throughput[i] = chip.Throughput()
 		return nil
 	})
-	if err != nil {
-		return nil, err
-	}
 	for ci, n := range counts {
 		row := []any{n}
 		for ki := range kinds {
+			if err := errs[ci*len(kinds)+ki]; err != nil {
+				row = fillErr(row, 2, err)
+				continue
+			}
 			tp := throughput[ci*len(kinds)+ki]
 			row = append(row, tp, tp/float64(n))
 		}
@@ -77,5 +78,6 @@ func (r *Runner) CMPScaling(scale workload.Scale) (*Result, error) {
 	return &Result{
 		ID: "F9", Title: "CMP throughput scaling", Tables: []*stats.Table{t},
 		Notes: []string{"per-core IPC decays with contention; aggregate throughput keeps rising"},
+		Errs:  collectErrs(errs),
 	}, nil
 }

@@ -6,12 +6,15 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"io"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
+	"rocksim/internal/cpu"
 	"rocksim/internal/sim"
 	"rocksim/internal/stats"
 	"rocksim/internal/workload"
@@ -24,6 +27,10 @@ type Result struct {
 	Tables []*stats.Table
 	// Notes carry headline observations (also asserted by tests).
 	Notes []string
+	// Errs lists the attributed failures of cells that could not be
+	// computed (watchdog trips, panics). The corresponding table cells
+	// render as ERR(reason); the rest of the table is real data.
+	Errs []string
 }
 
 // Fprint renders the result.
@@ -36,6 +43,60 @@ func (r *Result) Fprint(w io.Writer) {
 	for _, n := range r.Notes {
 		fmt.Fprintf(w, "note: %s\n", n)
 	}
+	for _, e := range r.Errs {
+		fmt.Fprintf(w, "ERR: %s\n", e)
+	}
+}
+
+// PanicError is a panic recovered from a simulation cell, carrying the
+// panicking goroutine's stack so a crashing model is attributable from
+// the experiment report alone.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (p *PanicError) Error() string { return fmt.Sprintf("panic: %v", p.Value) }
+
+// errCell renders a failed cell for a table: a short ERR(reason) tag in
+// place of the number, with the reason classifying the failure.
+func errCell(err error) string {
+	var pe *PanicError
+	switch {
+	case errors.Is(err, cpu.ErrLivelock):
+		return "ERR(livelock)"
+	case errors.Is(err, cpu.ErrCycleLimit):
+		return "ERR(cycle-limit)"
+	case errors.Is(err, cpu.ErrDeadline):
+		return "ERR(deadline)"
+	case errors.As(err, &pe):
+		return "ERR(panic)"
+	}
+	return "ERR(run-failed)"
+}
+
+// fillErr appends n ERR(reason) cells to a table row whose simulation
+// failed, so the row keeps its column count.
+func fillErr(row []any, n int, err error) []any {
+	for j := 0; j < n; j++ {
+		row = append(row, errCell(err))
+	}
+	return row
+}
+
+// collectErrs flattens per-cell errors into attributed report lines,
+// deduplicating (shared cache entries surface one failure many times).
+func collectErrs(errs []error) []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, err := range errs {
+		if err == nil || seen[err.Error()] {
+			continue
+		}
+		seen[err.Error()] = true
+		out = append(out, err.Error())
+	}
+	return out
 }
 
 // FprintCharts renders each table row as a horizontal bar chart —
@@ -56,10 +117,12 @@ func (r *Result) FprintCharts(w io.Writer) {
 // cell — within one experiment or across experiments racing on a
 // shared Runner — deduplicate onto a single simulation (singleflight).
 type Runner struct {
-	mu    sync.Mutex
-	jobs  int
-	sem   chan struct{}
-	cache map[string]*cacheEntry
+	mu      sync.Mutex
+	jobs    int
+	sem     chan struct{}
+	cache   map[string]*cacheEntry
+	base    sim.Options
+	hasBase bool
 }
 
 // cacheEntry is one cell of the run cache. The first requester computes
@@ -97,6 +160,26 @@ func (r *Runner) Jobs() int {
 	return r.jobs
 }
 
+// SetBaseOptions sets the sim.Options every experiment starts from
+// (drivers still apply their per-cell overrides on top). This is how
+// cmd/sstbench threads -faults and -timeout into the whole grid.
+func (r *Runner) SetBaseOptions(o sim.Options) {
+	r.mu.Lock()
+	r.base, r.hasBase = o, true
+	r.mu.Unlock()
+}
+
+// BaseOptions returns the options experiments start from:
+// sim.DefaultOptions unless SetBaseOptions overrode them.
+func (r *Runner) BaseOptions() sim.Options {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.hasBase {
+		return r.base
+	}
+	return sim.DefaultOptions()
+}
+
 // semaphore returns the pool's shared slot channel, sized to the
 // current job bound. Sharing one semaphore across concurrent forEach
 // calls keeps the bound global to the Runner, not per call.
@@ -109,15 +192,17 @@ func (r *Runner) semaphore() chan struct{} {
 	return r.sem
 }
 
-// forEach runs job(0..n-1) on the bounded worker pool, waits for all of
-// them, and returns the lowest-index error so failures are as
-// deterministic as results.
-func (r *Runner) forEach(n int, job func(i int) error) error {
+// forEachErrs runs job(0..n-1) on the bounded worker pool, waits for
+// ALL of them regardless of individual failures, and returns the
+// per-job errors (nil entries on success). A panicking job is recovered
+// into a *PanicError and retried once — a crash in one cell degrades
+// that cell, never the whole experiment or the process.
+func (r *Runner) forEachErrs(n int, job func(i int) error) []error {
+	errs := make([]error, n)
 	if n == 0 {
-		return nil
+		return errs
 	}
 	sem := r.semaphore()
-	errs := make([]error, n)
 	var wg sync.WaitGroup
 	wg.Add(n)
 	for i := 0; i < n; i++ {
@@ -125,16 +210,46 @@ func (r *Runner) forEach(n int, job func(i int) error) error {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			errs[i] = job(i)
+			errs[i] = runJob(i, job)
 		}(i)
 	}
 	wg.Wait()
-	for _, err := range errs {
+	return errs
+}
+
+// forEach is forEachErrs for drivers where any failure is fatal: it
+// still waits for every job, then returns the lowest-index error so
+// failures are as deterministic as results.
+func (r *Runner) forEach(n int, job func(i int) error) error {
+	for _, err := range r.forEachErrs(n, job) {
 		if err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// runJob executes one pool job, converting a panic into an error and
+// retrying once: transient crashes (a scheduling-dependent model bug)
+// get a second chance, deterministic ones fail the cell attributably.
+func runJob(i int, job func(i int) error) error {
+	err := recoverJob(i, job)
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		err = recoverJob(i, job)
+	}
+	return err
+}
+
+// recoverJob runs job(i), mapping a panic to a *PanicError carrying the
+// stack.
+func recoverJob(i int, job func(i int) error) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = fmt.Errorf("cell %d: %w", i, &PanicError{Value: v, Stack: debug.Stack()})
+		}
+	}()
+	return job(i)
 }
 
 // cell is one (core kind, workload, options) point of an experiment
@@ -147,18 +262,18 @@ type cell struct {
 
 // runCells executes every cell on the worker pool and returns the
 // outcomes in cell order, so drivers can assemble tables in
-// presentation order independent of completion order.
-func (r *Runner) runCells(cells []cell) ([]sim.Outcome, error) {
-	outs := make([]sim.Outcome, len(cells))
-	err := r.forEach(len(cells), func(i int) error {
+// presentation order independent of completion order. Failures are
+// per-cell: errs[i] non-nil means outs[i] is invalid and the driver
+// should render that cell as errCell(errs[i]); the other cells are
+// computed regardless.
+func (r *Runner) runCells(cells []cell) (outs []sim.Outcome, errs []error) {
+	outs = make([]sim.Outcome, len(cells))
+	errs = r.forEachErrs(len(cells), func(i int) error {
 		out, err := r.run(cells[i].kind, cells[i].spec, cells[i].opts)
 		outs[i] = out
 		return err
 	})
-	if err != nil {
-		return nil, err
-	}
-	return outs, nil
+	return outs, errs
 }
 
 // cacheKey derives the run-cache key from the cell's full contents:
@@ -193,12 +308,34 @@ func (r *Runner) run(k sim.Kind, spec *workload.Spec, opts sim.Options) (sim.Out
 	e := &cacheEntry{done: make(chan struct{})}
 	r.cache[ck] = e
 	r.mu.Unlock()
-	out, err := sim.Run(k, spec.Program, opts)
-	if err != nil {
-		err = fmt.Errorf("experiments: %v on %s: %w", k, spec.Name, err)
+	out, err := compute(k, spec, opts)
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		// One bounded retry on a crash; a deterministic panic fails the
+		// cell for every sharer, with the stack preserved in the error.
+		out, err = compute(k, spec, opts)
 	}
 	e.out, e.err = out, err
 	close(e.done)
+	return out, err
+}
+
+// compute runs one simulation cell, converting a panic inside the model
+// into an attributed error. Recovering here (not just in the worker
+// pool) guarantees the cache entry's done channel closes even when the
+// simulator crashes — a panicking cell must never deadlock the
+// singleflight sharers blocked on it.
+func compute(k sim.Kind, spec *workload.Spec, opts sim.Options) (out sim.Outcome, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = fmt.Errorf("experiments: %v on %s: %w", k, spec.Name,
+				&PanicError{Value: v, Stack: debug.Stack()})
+		}
+	}()
+	out, err = sim.Run(k, spec.Program, opts)
+	if err != nil {
+		err = fmt.Errorf("experiments: %v on %s: %w", k, spec.Name, err)
+	}
 	return out, err
 }
 

@@ -29,25 +29,32 @@ func (r *Runner) HTMContention(scale workload.Scale) (*Result, error) {
 		cycles, aborts, commits uint64
 	}
 	res := make([]chipResult, 2*len(counts))
-	err := r.forEach(len(res), func(i int) error {
+	opts := r.BaseOptions()
+	errs := r.forEachErrs(len(res), func(i int) error {
 		n := counts[i/2]
 		src := htmCounterSrc(perCore)
 		if i%2 == 1 {
 			src = casCounterSrc(perCore)
 		}
-		cycles, aborts, commits, err := runCounterChip(src, n)
+		cycles, aborts, commits, err := runCounterChip(src, n, opts)
 		if err != nil {
 			return err
 		}
 		res[i] = chipResult{cycles, aborts, commits}
 		return nil
 	})
-	if err != nil {
-		return nil, err
-	}
 	t := stats.NewTable("Figure 16 (extension): contended counter — HTM vs cas (lower cycles = better)",
 		"cores", "htm cycles", "htm aborts/commit", "cas cycles", "htm/cas speedup")
 	for ci, n := range counts {
+		if err := errs[2*ci]; err != nil {
+			t.AddRow(fillErr([]any{n}, 4, err)...)
+			continue
+		}
+		if err := errs[2*ci+1]; err != nil {
+			htm := res[2*ci]
+			t.AddRow(n, htm.cycles, stats.Ratio(htm.aborts, htm.commits), errCell(err), errCell(err))
+			continue
+		}
 		htm, cas := res[2*ci], res[2*ci+1]
 		t.AddRow(n, htm.cycles, stats.Ratio(htm.aborts, htm.commits), cas.cycles,
 			float64(cas.cycles)/float64(htm.cycles))
@@ -57,6 +64,7 @@ func (r *Runner) HTMContention(scale workload.Scale) (*Result, error) {
 		Notes: []string{
 			"the transaction is optimistic: uncontended it is lock-free reads+stores; contended, conflict aborts provide the serialization cas provides pessimistically",
 		},
+		Errs: collectErrs(errs),
 	}, nil
 }
 
@@ -100,7 +108,7 @@ func casCounterSrc(n int) string {
 
 // runCounterChip runs src on n shared-memory SST cores and returns chip
 // cycles plus transactional abort/commit totals.
-func runCounterChip(src string, n int) (cycles, aborts, commits uint64, err error) {
+func runCounterChip(src string, n int, opts sim.Options) (cycles, aborts, commits uint64, err error) {
 	prog, err := asm.Assemble(src)
 	if err != nil {
 		return 0, 0, 0, err
@@ -113,15 +121,14 @@ func runCounterChip(src string, n int) (cycles, aborts, commits uint64, err erro
 	for i := range entries {
 		entries[i] = entry
 	}
-	opts := sim.DefaultOptions()
 	chip, err := cmp.NewShared(opts.Hier, opts.Pred, prog, entries,
-		func(id int, m *cpu.Machine, e uint64) cpu.Core {
-			return core.New(m, opts.SST, e)
+		func(id int, m *cpu.Machine, e uint64) (cpu.Core, error) {
+			return core.New(m, opts.SST, e), nil
 		})
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	if err := chip.Run(sim.DefaultMaxCycles); err != nil {
+	if err := chip.Run(opts.CycleLimit()); err != nil {
 		return 0, 0, 0, err
 	}
 	for _, cr := range chip.Cores {

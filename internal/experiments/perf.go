@@ -29,17 +29,14 @@ func (r *Runner) PerfComparison(scale workload.Scale) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	opts := sim.DefaultOptions()
+	opts := r.BaseOptions()
 	cells := make([]cell, 0, len(specs)*len(sim.Kinds))
 	for _, w := range specs {
 		for _, k := range sim.Kinds {
 			cells = append(cells, cell{k, w, opts})
 		}
 	}
-	outs, err := r.runCells(cells)
-	if err != nil {
-		return nil, err
-	}
+	outs, errs := r.runCells(cells)
 	t := stats.NewTable("Figure 1: per-thread speedup over in-order (commercial suite)",
 		append([]string{"workload"}, kindNames()...)...)
 	perKind := map[sim.Kind][]float64{}
@@ -47,13 +44,21 @@ func (r *Runner) PerfComparison(scale workload.Scale) (*Result, error) {
 	for _, w := range specs {
 		row := []any{w.Name}
 		var baseIPC float64
+		var baseErr error
 		for _, k := range sim.Kinds {
-			ipc := outs[i].IPC()
+			out, cerr := outs[i], errs[i]
 			i++
 			if k == sim.KindInOrder {
-				baseIPC = ipc
+				baseIPC, baseErr = out.IPC(), cerr
 			}
-			sp := ipc / baseIPC
+			if cerr == nil {
+				cerr = baseErr // a failed baseline fails the row's ratios
+			}
+			if cerr != nil {
+				row = append(row, errCell(cerr))
+				continue
+			}
+			sp := out.IPC() / baseIPC
 			perKind[k] = append(perKind[k], sp)
 			row = append(row, sp)
 		}
@@ -78,6 +83,7 @@ func (r *Runner) PerfComparison(scale workload.Scale) (*Result, error) {
 			fmt.Sprintf("SST-big vs larger OOO: %+.1f%% — the paper's number sits between the two configurations", bigVsOOO),
 			fmt.Sprintf("SST vs in-order geomean: %.2fx (SST-big %.2fx)", geo[sim.KindSST], geo[sim.KindSSTBig]),
 		},
+		Errs: collectErrs(errs),
 	}, nil
 }
 
@@ -101,29 +107,30 @@ func (r *Runner) ModeBreakdown(scale workload.Scale) (*Result, error) {
 		return nil, err
 	}
 	specs = append(specs, specs2...)
-	opts := sim.DefaultOptions()
+	opts := r.BaseOptions()
 	cells := make([]cell, 0, len(specs))
 	for _, w := range specs {
 		cells = append(cells, cell{sim.KindSST, w, opts})
 	}
-	outs, err := r.runCells(cells)
-	if err != nil {
-		return nil, err
-	}
+	outs, errs := r.runCells(cells)
 	headers := []string{"workload"}
 	for k := core.CycleKind(0); k < core.NumCycleKinds; k++ {
 		headers = append(headers, k.String()+"%")
 	}
 	t := stats.NewTable("Figure 2: SST execution-cycle breakdown", headers...)
 	for i, w := range specs {
-		st := sstStats(outs[i])
 		row := []any{w.Name}
+		if errs[i] != nil {
+			t.AddRow(fillErr(row, int(core.NumCycleKinds), errs[i])...)
+			continue
+		}
+		st := sstStats(outs[i])
 		for k := core.CycleKind(0); k < core.NumCycleKinds; k++ {
 			row = append(row, stats.Pct(st.ModeCycles[k], st.Cycles))
 		}
 		t.AddRow(row...)
 	}
-	return &Result{ID: "F2", Title: "SST execution-time breakdown", Tables: []*stats.Table{t}}, nil
+	return &Result{ID: "F2", Title: "SST execution-time breakdown", Tables: []*stats.Table{t}, Errs: collectErrs(errs)}, nil
 }
 
 // MLPComparison regenerates Figure 7: average outstanding misses (over
@@ -134,29 +141,30 @@ func (r *Runner) MLPComparison(scale workload.Scale) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	opts := sim.DefaultOptions()
+	opts := r.BaseOptions()
 	cells := make([]cell, 0, len(specs)*len(sim.Kinds))
 	for _, w := range specs {
 		for _, k := range sim.Kinds {
 			cells = append(cells, cell{k, w, opts})
 		}
 	}
-	outs, err := r.runCells(cells)
-	if err != nil {
-		return nil, err
-	}
+	outs, errs := r.runCells(cells)
 	t := stats.NewTable("Figure 7: memory-level parallelism (mean outstanding L1D misses while missing)",
 		append([]string{"workload"}, kindNames()...)...)
 	i := 0
 	for _, w := range specs {
 		row := []any{w.Name}
 		for range sim.Kinds {
-			row = append(row, outs[i].Core.Base().MLP())
+			if errs[i] != nil {
+				row = append(row, errCell(errs[i]))
+			} else {
+				row = append(row, outs[i].Core.Base().MLP())
+			}
 			i++
 		}
 		t.AddRow(row...)
 	}
-	return &Result{ID: "F7", Title: "memory-level parallelism", Tables: []*stats.Table{t}}, nil
+	return &Result{ID: "F7", Title: "memory-level parallelism", Tables: []*stats.Table{t}, Errs: collectErrs(errs)}, nil
 }
 
 // Ablation regenerates Figure 8: how much of SST's win comes from each
@@ -168,7 +176,7 @@ func (r *Runner) Ablation(scale workload.Scale) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	opts := sim.DefaultOptions()
+	opts := r.BaseOptions()
 	kinds := []sim.Kind{sim.KindInOrder, sim.KindScout, sim.KindSSTEA, sim.KindSST}
 	cells := make([]cell, 0, len(specs)*len(kinds))
 	for _, w := range specs {
@@ -176,10 +184,7 @@ func (r *Runner) Ablation(scale workload.Scale) (*Result, error) {
 			cells = append(cells, cell{k, w, opts})
 		}
 	}
-	outs, err := r.runCells(cells)
-	if err != nil {
-		return nil, err
-	}
+	outs, errs := r.runCells(cells)
 	headers := []string{"workload"}
 	for _, k := range kinds {
 		headers = append(headers, k.String())
@@ -190,13 +195,21 @@ func (r *Runner) Ablation(scale workload.Scale) (*Result, error) {
 	for _, w := range specs {
 		row := []any{w.Name}
 		var base float64
+		var baseErr error
 		for _, k := range kinds {
-			ipc := outs[i].IPC()
+			out, cerr := outs[i], errs[i]
 			i++
 			if k == sim.KindInOrder {
-				base = ipc
+				base, baseErr = out.IPC(), cerr
 			}
-			sp := ipc / base
+			if cerr == nil {
+				cerr = baseErr
+			}
+			if cerr != nil {
+				row = append(row, errCell(cerr))
+				continue
+			}
+			sp := out.IPC() / base
 			acc[k] = append(acc[k], sp)
 			row = append(row, sp)
 		}
@@ -214,6 +227,7 @@ func (r *Runner) Ablation(scale workload.Scale) (*Result, error) {
 		Notes: []string{
 			"expected ordering: in-order <= scout <= execute-ahead <= SST",
 		},
+		Errs: collectErrs(errs),
 	}, nil
 }
 
@@ -224,15 +238,12 @@ func (r *Runner) RollbackAccounting(scale workload.Scale) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	opts := sim.DefaultOptions()
+	opts := r.BaseOptions()
 	cells := make([]cell, 0, len(specs))
 	for _, w := range specs {
 		cells = append(cells, cell{sim.KindSST, w, opts})
 	}
-	outs, err := r.runCells(cells)
-	if err != nil {
-		return nil, err
-	}
+	outs, errs := r.runCells(cells)
 	headers := []string{"workload", "checkpoints", "commits", "rollbacks"}
 	for c := core.RollbackCause(0); c < core.NumRollbackCauses; c++ {
 		headers = append(headers, "rb:"+c.String())
@@ -240,8 +251,13 @@ func (r *Runner) RollbackAccounting(scale workload.Scale) (*Result, error) {
 	headers = append(headers, "discarded-insts%", "defer%", "dq-occ-mean")
 	t := stats.NewTable("Figure 10: SST speculation outcome accounting", headers...)
 	for i, w := range specs {
+		row := []any{w.Name}
+		if errs[i] != nil {
+			t.AddRow(fillErr(row, len(headers)-1, errs[i])...)
+			continue
+		}
 		st := sstStats(outs[i])
-		row := []any{w.Name, st.CheckpointsTaken, st.EpochCommits, st.Rollbacks}
+		row = append(row, st.CheckpointsTaken, st.EpochCommits, st.Rollbacks)
 		for cse := core.RollbackCause(0); cse < core.NumRollbackCauses; cse++ {
 			row = append(row, st.RollbacksBy[cse])
 		}
@@ -251,5 +267,5 @@ func (r *Runner) RollbackAccounting(scale workload.Scale) (*Result, error) {
 			st.DQOcc.Mean())
 		t.AddRow(row...)
 	}
-	return &Result{ID: "F10", Title: "rollback accounting", Tables: []*stats.Table{t}}, nil
+	return &Result{ID: "F10", Title: "rollback accounting", Tables: []*stats.Table{t}, Errs: collectErrs(errs)}, nil
 }

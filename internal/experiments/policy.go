@@ -40,15 +40,12 @@ func (r *Runner) PolicyAblation(scale workload.Scale) (*Result, error) {
 	cells := make([]cell, 0, len(specs)*len(variants))
 	for _, w := range specs {
 		for _, v := range variants {
-			opts := sim.DefaultOptions()
+			opts := r.BaseOptions()
 			v.mutate(&opts.SST)
 			cells = append(cells, cell{sim.KindSST, w, opts})
 		}
 	}
-	outs, err := r.runCells(cells)
-	if err != nil {
-		return nil, err
-	}
+	outs, errs := r.runCells(cells)
 	headers := []string{"workload"}
 	for _, v := range variants {
 		headers = append(headers, v.name)
@@ -58,7 +55,11 @@ func (r *Runner) PolicyAblation(scale workload.Scale) (*Result, error) {
 	for _, w := range specs {
 		row := []any{w.Name}
 		for range variants {
-			row = append(row, outs[i].IPC())
+			if errs[i] != nil {
+				row = append(row, errCell(errs[i]))
+			} else {
+				row = append(row, outs[i].IPC())
+			}
 			i++
 		}
 		t.AddRow(row...)
@@ -66,6 +67,7 @@ func (r *Runner) PolicyAblation(scale workload.Scale) (*Result, error) {
 	return &Result{
 		ID: "F13", Title: "SST policy ablation", Tables: []*stats.Table{t},
 		Notes: []string{"each column toggles one design choice against the default configuration"},
+		Errs:  collectErrs(errs),
 	}, nil
 }
 
@@ -87,17 +89,14 @@ func (r *Runner) PrefetchInterplay(scale workload.Scale) (*Result, error) {
 	for _, w := range specs {
 		for _, k := range kinds {
 			for _, pf := range pfs {
-				opts := sim.DefaultOptions()
+				opts := r.BaseOptions()
 				opts.Hier.Prefetch = pf
 				opts.Hier.Stride = mem.DefaultStrideConfig()
 				cells = append(cells, cell{k, w, opts})
 			}
 		}
 	}
-	outs, err := r.runCells(cells)
-	if err != nil {
-		return nil, err
-	}
+	outs, errs := r.runCells(cells)
 	headers := []string{"workload"}
 	for _, k := range kinds {
 		for _, pf := range pfs {
@@ -110,17 +109,29 @@ func (r *Runner) PrefetchInterplay(scale workload.Scale) (*Result, error) {
 	for _, w := range specs {
 		row := []any{w.Name}
 		ipc := map[string]float64{}
+		var rowErr error
 		for _, k := range kinds {
 			for _, pf := range pfs {
-				key := fmt.Sprintf("%v/%v", k, pf)
-				ipc[key] = outs[i].IPC()
-				row = append(row, outs[i].IPC())
+				if cerr := errs[i]; cerr != nil {
+					if rowErr == nil {
+						rowErr = cerr
+					}
+					row = append(row, errCell(cerr))
+				} else {
+					key := fmt.Sprintf("%v/%v", k, pf)
+					ipc[key] = outs[i].IPC()
+					row = append(row, outs[i].IPC())
+				}
 				i++
 			}
 		}
-		row = append(row,
-			ipc["sst/none"]/ipc["inorder/none"],
-			ipc["sst/stride"]/ipc["inorder/stride"])
+		if rowErr != nil {
+			row = fillErr(row, 2, rowErr) // the gain ratios need every cell
+		} else {
+			row = append(row,
+				ipc["sst/none"]/ipc["inorder/none"],
+				ipc["sst/stride"]/ipc["inorder/stride"])
+		}
 		t.AddRow(row...)
 	}
 	return &Result{
@@ -128,5 +139,6 @@ func (r *Runner) PrefetchInterplay(scale workload.Scale) (*Result, error) {
 		Notes: []string{
 			"stride prefetching narrows SST's edge on regular streams (stream/quantum) but not on data-dependent commercial patterns (oltp/jbb)",
 		},
+		Errs: collectErrs(errs),
 	}, nil
 }

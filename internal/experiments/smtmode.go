@@ -25,7 +25,7 @@ import (
 // the L1I so the timing effect is negligible.
 func (r *Runner) SMTMode(scale workload.Scale) (*Result, error) {
 	pairs := [][2]string{{"oltp", "jbb"}, {"web", "erp"}, {"oltp", "web"}}
-	opts := sim.DefaultOptions()
+	opts := r.BaseOptions()
 	// One pool job per pair: the two single-thread SST runs go through
 	// the run cache (deduplicating "oltp" across pairs and with F1),
 	// and the SMT pair run is computed alongside.
@@ -34,7 +34,7 @@ func (r *Runner) SMTMode(scale workload.Scale) (*Result, error) {
 		smtA, smtB float64
 	}
 	res := make([]pairResult, len(pairs))
-	err := r.forEach(len(pairs), func(i int) error {
+	errs := r.forEachErrs(len(pairs), func(i int) error {
 		pair := pairs[i]
 		wa, err := workload.Build(pair[0], scale)
 		if err != nil {
@@ -63,12 +63,13 @@ func (r *Runner) SMTMode(scale workload.Scale) (*Result, error) {
 		}
 		return nil
 	})
-	if err != nil {
-		return nil, err
-	}
 	t := stats.NewTable("Figure 12 (extension): one core, two uses — SMT-2 throughput vs SST latency",
 		"pair", "sst A", "sst B", "smt A", "smt B", "smt aggregate", "sst-A/smt-A")
 	for i, pair := range pairs {
+		if errs[i] != nil {
+			t.AddRow(fillErr([]any{pair[0] + "+" + pair[1]}, 6, errs[i])...)
+			continue
+		}
 		p := res[i]
 		t.AddRow(pair[0]+"+"+pair[1], p.sstA, p.sstB,
 			p.smtA, p.smtB, p.smtA+p.smtB, p.sstA/p.smtA)
@@ -78,6 +79,7 @@ func (r *Runner) SMTMode(scale workload.Scale) (*Result, error) {
 		Notes: []string{
 			"SST mode trades one thread's slot for per-thread speed; SMT mode trades latency for aggregate throughput — ROCK exposes both",
 		},
+		Errs: collectErrs(errs),
 	}, nil
 }
 
@@ -98,7 +100,7 @@ func runSMTPair(wa, wb *workload.Spec, opts sim.Options) (retA, retB, cycles uin
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	if err := cpu.Run(core, sim.DefaultMaxCycles); err != nil {
+	if err := cpu.Run(core, opts.CycleLimit()); err != nil {
 		return 0, 0, 0, fmt.Errorf("smt pair %s+%s: %w", wa.Name, wb.Name, err)
 	}
 	return core.Thread(0).Core.Retired(), core.Thread(1).Core.Retired(), core.Cycle(), nil

@@ -19,22 +19,23 @@ func (r *Runner) DQSweep(scale workload.Scale) (*Result, error) {
 	cells := make([]cell, 0, len(specs)*len(sizes))
 	for _, w := range specs {
 		for _, n := range sizes {
-			opts := sim.DefaultOptions()
+			opts := r.BaseOptions()
 			opts.SST.DQSize = n
 			cells = append(cells, cell{sim.KindSST, w, opts})
 		}
 	}
-	outs, err := r.runCells(cells)
-	if err != nil {
-		return nil, err
-	}
+	outs, errs := r.runCells(cells)
 	t := stats.NewTable("Figure 3: IPC vs Deferred Queue size",
 		headerize("workload", sizes, "DQ=%d")...)
 	i := 0
 	for _, w := range specs {
 		row := []any{w.Name}
 		for range sizes {
-			row = append(row, outs[i].IPC())
+			if errs[i] != nil {
+				row = append(row, errCell(errs[i]))
+			} else {
+				row = append(row, outs[i].IPC())
+			}
 			i++
 		}
 		t.AddRow(row...)
@@ -42,6 +43,7 @@ func (r *Runner) DQSweep(scale workload.Scale) (*Result, error) {
 	return &Result{
 		ID: "F3", Title: "Deferred Queue sizing", Tables: []*stats.Table{t},
 		Notes: []string{"DQ=0 is hardware scout; returns should flatten near the default (64)"},
+		Errs:  collectErrs(errs),
 	}, nil
 }
 
@@ -56,22 +58,23 @@ func (r *Runner) CheckpointSweep(scale workload.Scale) (*Result, error) {
 	cells := make([]cell, 0, len(specs)*len(counts))
 	for _, w := range specs {
 		for _, n := range counts {
-			opts := sim.DefaultOptions()
+			opts := r.BaseOptions()
 			opts.SST.Checkpoints = n
 			cells = append(cells, cell{sim.KindSST, w, opts})
 		}
 	}
-	outs, err := r.runCells(cells)
-	if err != nil {
-		return nil, err
-	}
+	outs, errs := r.runCells(cells)
 	t := stats.NewTable("Figure 4: IPC vs number of checkpoints",
 		headerize("workload", counts, "ckpt=%d")...)
 	i := 0
 	for _, w := range specs {
 		row := []any{w.Name}
 		for range counts {
-			row = append(row, outs[i].IPC())
+			if errs[i] != nil {
+				row = append(row, errCell(errs[i]))
+			} else {
+				row = append(row, outs[i].IPC())
+			}
 			i++
 		}
 		t.AddRow(row...)
@@ -79,6 +82,7 @@ func (r *Runner) CheckpointSweep(scale workload.Scale) (*Result, error) {
 	return &Result{
 		ID: "F4", Title: "checkpoint count", Tables: []*stats.Table{t},
 		Notes: []string{"more checkpoints -> finer rollback granularity and deeper miss overlap"},
+		Errs:  collectErrs(errs),
 	}, nil
 }
 
@@ -93,27 +97,28 @@ func (r *Runner) SSBSweep(scale workload.Scale) (*Result, error) {
 	cells := make([]cell, 0, len(specs)*len(sizes))
 	for _, w := range specs {
 		for _, n := range sizes {
-			opts := sim.DefaultOptions()
+			opts := r.BaseOptions()
 			opts.SST.SSBSize = n
 			cells = append(cells, cell{sim.KindSST, w, opts})
 		}
 	}
-	outs, err := r.runCells(cells)
-	if err != nil {
-		return nil, err
-	}
+	outs, errs := r.runCells(cells)
 	t := stats.NewTable("Figure 5: IPC vs speculative store buffer size",
 		headerize("workload", sizes, "SSB=%d")...)
 	i := 0
 	for _, w := range specs {
 		row := []any{w.Name}
 		for range sizes {
-			row = append(row, outs[i].IPC())
+			if errs[i] != nil {
+				row = append(row, errCell(errs[i]))
+			} else {
+				row = append(row, outs[i].IPC())
+			}
 			i++
 		}
 		t.AddRow(row...)
 	}
-	return &Result{ID: "F5", Title: "store buffer sizing", Tables: []*stats.Table{t}}, nil
+	return &Result{ID: "F5", Title: "store buffer sizing", Tables: []*stats.Table{t}, Errs: collectErrs(errs)}, nil
 }
 
 // MemLatencySweep regenerates Figure 6: SST's advantage as memory
@@ -129,16 +134,13 @@ func (r *Runner) MemLatencySweep(scale workload.Scale) (*Result, error) {
 	kinds := []sim.Kind{sim.KindInOrder, sim.KindOOOLarge, sim.KindSST}
 	cells := make([]cell, 0, len(lats)*len(kinds))
 	for _, lat := range lats {
-		opts := sim.DefaultOptions()
+		opts := r.BaseOptions()
 		opts.Hier.DRAM.Latency = lat
 		for _, k := range kinds {
 			cells = append(cells, cell{k, w, opts})
 		}
 	}
-	outs, err := r.runCells(cells)
-	if err != nil {
-		return nil, err
-	}
+	outs, errs := r.runCells(cells)
 	headers := []string{"DRAM latency"}
 	for _, k := range kinds {
 		headers = append(headers, "IPC "+k.String())
@@ -149,17 +151,30 @@ func (r *Runner) MemLatencySweep(scale workload.Scale) (*Result, error) {
 	for _, lat := range lats {
 		row := []any{lat}
 		ipcs := map[sim.Kind]float64{}
+		var rowErr error
 		for _, k := range kinds {
-			ipcs[k] = outs[i].IPC()
+			if cerr := errs[i]; cerr != nil {
+				if rowErr == nil {
+					rowErr = cerr
+				}
+				row = append(row, errCell(cerr))
+			} else {
+				ipcs[k] = outs[i].IPC()
+				row = append(row, ipcs[k])
+			}
 			i++
-			row = append(row, ipcs[k])
 		}
-		row = append(row, ipcs[sim.KindSST]/ipcs[sim.KindInOrder], ipcs[sim.KindSST]/ipcs[sim.KindOOOLarge])
+		if rowErr != nil {
+			row = fillErr(row, 2, rowErr) // ratios need every cell
+		} else {
+			row = append(row, ipcs[sim.KindSST]/ipcs[sim.KindInOrder], ipcs[sim.KindSST]/ipcs[sim.KindOOOLarge])
+		}
 		t.AddRow(row...)
 	}
 	return &Result{
 		ID: "F6", Title: "memory latency scaling", Tables: []*stats.Table{t},
 		Notes: []string{"SST's speedup over in-order should grow with latency"},
+		Errs:  collectErrs(errs),
 	}, nil
 }
 
@@ -174,15 +189,12 @@ func (r *Runner) BranchSweep(scale workload.Scale) (*Result, error) {
 	cells := make([]cell, 0, len(specs)*len(bits))
 	for _, w := range specs {
 		for _, b := range bits {
-			opts := sim.DefaultOptions()
+			opts := r.BaseOptions()
 			opts.Pred.GshareBits = b
 			cells = append(cells, cell{sim.KindSST, w, opts})
 		}
 	}
-	outs, err := r.runCells(cells)
-	if err != nil {
-		return nil, err
-	}
+	outs, errs := r.runCells(cells)
 	headers := []string{"workload"}
 	for _, b := range bits {
 		headers = append(headers, fmt.Sprintf("IPC pht=%d", 1<<b), fmt.Sprintf("rollbacks pht=%d", 1<<b))
@@ -192,13 +204,17 @@ func (r *Runner) BranchSweep(scale workload.Scale) (*Result, error) {
 	for _, w := range specs {
 		row := []any{w.Name}
 		for range bits {
-			st := sstStats(outs[i])
-			row = append(row, outs[i].IPC(), st.Rollbacks)
+			if errs[i] != nil {
+				row = fillErr(row, 2, errs[i])
+			} else {
+				st := sstStats(outs[i])
+				row = append(row, outs[i].IPC(), st.Rollbacks)
+			}
 			i++
 		}
 		t.AddRow(row...)
 	}
-	return &Result{ID: "F11", Title: "branch predictor sensitivity", Tables: []*stats.Table{t}}, nil
+	return &Result{ID: "F11", Title: "branch predictor sensitivity", Tables: []*stats.Table{t}, Errs: collectErrs(errs)}, nil
 }
 
 func headerize(first string, vals []int, format string) []string {

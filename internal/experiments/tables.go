@@ -57,18 +57,20 @@ func (r *Runner) WorkloadTable(scale workload.Scale) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	opts := sim.DefaultOptions()
+	opts := r.BaseOptions()
 	cells := make([]cell, 0, len(specs))
 	for _, w := range specs {
 		cells = append(cells, cell{sim.KindInOrder, w, opts})
 	}
-	outs, err := r.runCells(cells)
-	if err != nil {
-		return nil, err
-	}
+	outs, errs := r.runCells(cells)
 	t := stats.NewTable("Table 2: workload characterization (measured on the in-order core)",
 		"workload", "class", "stands in for", "insts", "loads%", "stores%", "branches%", "L1D miss%", "L2 miss%", "IPC(inorder)")
 	for i, w := range specs {
+		row := []any{w.Name, w.Class.String(), w.Standin}
+		if errs[i] != nil {
+			t.AddRow(fillErr(row, 7, errs[i])...)
+			continue
+		}
 		out := outs[i]
 		b := out.Core.Base()
 		l1 := out.Mach.Hier.L1D(0).Stats
@@ -81,7 +83,7 @@ func (r *Runner) WorkloadTable(scale workload.Scale) (*Result, error) {
 			100*l2.MissRate(),
 			out.IPC())
 	}
-	return &Result{ID: "T2", Title: "workload characterization", Tables: []*stats.Table{t}}, nil
+	return &Result{ID: "T2", Title: "workload characterization", Tables: []*stats.Table{t}, Errs: collectErrs(errs)}, nil
 }
 
 // areaModel is the first-order structure-count area/power proxy used by

@@ -19,8 +19,8 @@ func (r *Runner) TLBSensitivity(scale workload.Scale) (*Result, error) {
 		return nil, err
 	}
 	kinds := []sim.Kind{sim.KindInOrder, sim.KindOOOLarge, sim.KindSST}
-	baseOpts := sim.DefaultOptions()
-	tlbOpts := sim.DefaultOptions()
+	baseOpts := r.BaseOptions()
+	tlbOpts := r.BaseOptions()
 	tlbOpts.Hier.DTLB = mem.DefaultTLBConfig()
 	grid := make([]cell, 0, 2*len(specs)*len(kinds))
 	for _, w := range specs {
@@ -28,10 +28,7 @@ func (r *Runner) TLBSensitivity(scale workload.Scale) (*Result, error) {
 			grid = append(grid, cell{k, w, baseOpts}, cell{k, w, tlbOpts})
 		}
 	}
-	outs, err := r.runCells(grid)
-	if err != nil {
-		return nil, err
-	}
+	outs, errs := r.runCells(grid)
 	headers := []string{"workload", "DTLB miss%"}
 	for _, k := range kinds {
 		headers = append(headers, k.String()+" noTLB", k.String()+" TLB", k.String()+" slowdown%")
@@ -44,7 +41,15 @@ func (r *Runner) TLBSensitivity(scale workload.Scale) (*Result, error) {
 		cols := []any{}
 		for range kinds {
 			base, out := outs[i], outs[i+1]
+			cerr := errs[i]
+			if cerr == nil {
+				cerr = errs[i+1]
+			}
 			i += 2
+			if cerr != nil {
+				cols = fillErr(cols, 3, cerr)
+				continue
+			}
 			if tlb := out.Mach.Hier.DTLB(0); tlb != nil {
 				missPct = 100 * tlb.Stats.MissRate()
 			}
@@ -57,5 +62,6 @@ func (r *Runner) TLBSensitivity(scale workload.Scale) (*Result, error) {
 	return &Result{
 		ID: "F15", Title: "TLB-miss tolerance", Tables: []*stats.Table{t},
 		Notes: []string{"checkpoint cores absorb table walks like cache misses; stall-on-use cores pay them serially"},
+		Errs:  collectErrs(errs),
 	}, nil
 }

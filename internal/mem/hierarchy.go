@@ -3,6 +3,7 @@ package mem
 import (
 	"fmt"
 
+	"rocksim/internal/faults"
 	"rocksim/internal/obs"
 	"rocksim/internal/stats"
 )
@@ -121,6 +122,9 @@ type Hierarchy struct {
 	// (core, port, level) so the enabled path allocates nothing per miss.
 	sink      obs.Sink
 	missNames [][2][3]string
+
+	// flt, when set, may jitter access timing (see internal/faults).
+	flt *faults.Injector
 }
 
 // missLatLimit bounds the miss-latency histograms (cycles); longer
@@ -196,6 +200,10 @@ func (h *Hierarchy) SetSink(s obs.Sink) {
 		}
 	}
 }
+
+// SetFaults installs a fault injector whose mem-jitter events delay
+// accesses (see internal/faults). Pass nil to disable.
+func (h *Hierarchy) SetFaults(in *faults.Injector) { h.flt = in }
 
 // LoadMissLatency returns the demand data-miss latency histogram.
 func (h *Hierarchy) LoadMissLatency() *stats.Hist { return h.latD }
@@ -305,6 +313,12 @@ func (h *Hierarchy) accessL2(line uint64, now uint64, markDirty bool) (uint64, L
 // access is attributed to the line containing it (the workloads keep
 // accesses naturally aligned, so no access straddles lines).
 func (h *Hierarchy) Access(core int, kind AccessKind, addr uint64, now uint64) Result {
+	if h.flt != nil {
+		// Injected jitter delays when the access starts; everything
+		// downstream (TLB, lookup, MSHR merge) sees the later cycle, so
+		// the perturbation is pure timing.
+		now += h.flt.MemDelay(now, addr)
+	}
 	p := &h.cores[core]
 	// Data accesses translate first (virtual domain, before salting).
 	if p.dtlb != nil && kind != AccFetch {

@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"fmt"
+
+	"rocksim/internal/asm"
+	"rocksim/internal/faults"
+	"rocksim/internal/isa"
+)
+
+// checkEmulatorBudget bounds the golden model when verifying fault
+// invisibility; it is an instruction count, far above any program the
+// oracle is pointed at.
+const checkEmulatorBudget = 200_000_000
+
+// CheckFaultInvisibility enforces the speculation-invisibility oracle:
+// run prog on the golden functional model and on core kind k under the
+// fault plan, and require identical architectural state — retired
+// instruction count, register file, and memory image. Faults perturb
+// only timing and speculative structures; any difference the plan can
+// produce in committed state is a correctness bug (or a deliberately
+// unsound fault such as skip-restore, which this oracle exists to
+// catch). A nil plan degenerates to the plain equivalence check.
+//
+// The returned error describes the first divergence (or the run
+// failure); nil means the faulted run was architecturally invisible.
+func CheckFaultInvisibility(k Kind, prog *asm.Program, plan *faults.Plan, opts Options) error {
+	emu, goldMem, err := RunEmulator(prog, checkEmulatorBudget)
+	if err != nil {
+		return fmt.Errorf("golden emulator: %w", err)
+	}
+	opts.Faults = plan
+	out, err := Run(k, prog, opts)
+	if err != nil {
+		return fmt.Errorf("faulted run: %w", err)
+	}
+	if out.Retired != emu.Executed {
+		return fmt.Errorf("%v under %s: retired %d insts, golden executed %d",
+			k, plan, out.Retired, emu.Executed)
+	}
+	for r := 1; r < isa.NumRegs; r++ {
+		if out.Regs[r] != emu.Reg[r] {
+			return fmt.Errorf("%v under %s: r%d = %#x, golden %#x",
+				k, plan, r, uint64(out.Regs[r]), uint64(emu.Reg[r]))
+		}
+	}
+	if !out.Mem.Equal(goldMem) {
+		diffs := out.Mem.Diff(goldMem, 8)
+		return fmt.Errorf("%v under %s: memory differs from golden at %d+ addrs, first: %#x",
+			k, plan, len(diffs), diffs)
+	}
+	return nil
+}

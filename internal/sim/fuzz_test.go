@@ -22,6 +22,7 @@ type progGen struct {
 	b    *asm.Builder
 	n    int  // label counter
 	inTx bool // inside a transaction block: restrict statement kinds
+	noTx bool // never emit transactions (fault-fuzz: aborts are architecturally visible)
 }
 
 const (
@@ -135,7 +136,11 @@ func (g *progGen) stmt(budget *int, depth int) {
 			g.b.Nop() // cas/membar abort transactions: keep them out
 			break
 		}
-		switch g.r.Intn(3) {
+		arms := 3
+		if g.noTx {
+			arms = 2 // transactions excluded: capacity faults abort them visibly
+		}
+		switch g.r.Intn(arms) {
 		case 0:
 			g.addr()
 			g.b.Opi(isa.OpAndi, regScratch, regScratch, ^int32(7))
@@ -168,7 +173,19 @@ func (g *progGen) stmt(budget *int, depth int) {
 
 // genProgram builds one random program with nstmt top-level statements.
 func genProgram(seed int64, nstmt int) (*asm.Program, error) {
-	g := &progGen{r: rand.New(rand.NewSource(seed)), b: asm.NewBuilder(asm.DefaultTextBase)}
+	return genWith(&progGen{r: rand.New(rand.NewSource(seed)), b: asm.NewBuilder(asm.DefaultTextBase)}, nstmt)
+}
+
+// genFaultProgram is genProgram without transactions. The fault-fuzz
+// oracle demands bit-exact architectural state under arbitrary fault
+// plans, but a capacity fault aborting a transaction is architecturally
+// VISIBLE by design (ROCK's HTM is best-effort; software owns the abort
+// path), so tx blocks would make benign plans "fail" the oracle.
+func genFaultProgram(seed int64, nstmt int) (*asm.Program, error) {
+	return genWith(&progGen{r: rand.New(rand.NewSource(seed)), b: asm.NewBuilder(asm.DefaultTextBase), noTx: true}, nstmt)
+}
+
+func genWith(g *progGen, nstmt int) (*asm.Program, error) {
 	b := g.b
 
 	b.SetEntry("main")

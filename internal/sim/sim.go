@@ -5,12 +5,15 @@
 package sim
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"rocksim/internal/asm"
 	"rocksim/internal/bpred"
 	"rocksim/internal/core"
 	"rocksim/internal/cpu"
+	"rocksim/internal/faults"
 	"rocksim/internal/inorder"
 	"rocksim/internal/isa"
 	"rocksim/internal/mem"
@@ -75,6 +78,22 @@ type Options struct {
 	SST     core.Config
 	// MaxCycles bounds the run (0 = DefaultMaxCycles).
 	MaxCycles uint64
+	// Timeout bounds the run in wall-clock time (0 = none): RunContext
+	// arms a context deadline and returns a watchdog error when it
+	// expires. Wall clock does not affect the simulated outcome — a
+	// timed-out run errors, a finished one is bit-identical regardless.
+	Timeout time.Duration
+	// LivelockWindow is the no-forward-progress watchdog: a run in which
+	// the core executes nothing — no retire, load, store or branch —
+	// for this many consecutive cycles errors instead of spinning on to
+	// MaxCycles (0 = DefaultLivelockWindow).
+	LivelockWindow uint64
+	// Faults, when non-nil, is a deterministic fault-injection schedule
+	// (see internal/faults): the run replays the plan's perturbations —
+	// denied checkpoints, spurious rollbacks, capacity clamps, memory
+	// jitter, mispredict storms — exactly, so faulted runs are as
+	// reproducible and cacheable as clean ones.
+	Faults *faults.Plan
 	// Probe, when non-nil, is installed on SST-family cores for
 	// pipeline visualization (see core.PipeView).
 	Probe core.Probe
@@ -98,11 +117,41 @@ func (o Options) Fingerprint() string {
 	o.Probe = nil
 	o.Sink = nil
 	o.Metrics = nil
-	return fmt.Sprintf("%+v", o)
+	// A *faults.Plan would print as a pointer; substitute its canonical
+	// string, which covers every behavior-affecting field.
+	plan := o.Faults.String()
+	o.Faults = nil
+	return fmt.Sprintf("%+v|faults{%s}", o, plan)
 }
 
 // DefaultMaxCycles bounds runaway simulations.
 const DefaultMaxCycles = 2_000_000_000
+
+// DefaultLivelockWindow is the default no-activity watchdog window.
+// Progress is counted as any executed work — retires, loads, stores,
+// branches (see cpu.RunConfig) — so even a pointer chase that defers
+// its entire run before one bulk commit registers activity every memory
+// round trip. The longest legitimate silent stretch is a single memory
+// round trip (hundreds of cycles); two million is orders of magnitude
+// above it and still fails a wedged run a thousand times sooner than
+// DefaultMaxCycles would.
+const DefaultLivelockWindow = 2_000_000
+
+// CycleLimit returns the effective cycle bound of the options.
+func (o Options) CycleLimit() uint64 {
+	if o.MaxCycles > 0 {
+		return o.MaxCycles
+	}
+	return DefaultMaxCycles
+}
+
+// livelockWindow returns the effective no-retire watchdog window.
+func (o Options) livelockWindow() uint64 {
+	if o.LivelockWindow > 0 {
+		return o.LivelockWindow
+	}
+	return DefaultLivelockWindow
+}
 
 // DefaultOptions returns the standard machine configurations used
 // throughout the reproduction (paper Table 1).
@@ -139,10 +188,14 @@ func (o Outcome) IPC() float64 {
 	return float64(o.Retired) / float64(o.Cycles)
 }
 
-// NewCore builds a core of the given kind over machine m, installing the
-// options' observability hooks.
-func NewCore(k Kind, m *cpu.Machine, opts Options, entry uint64) cpu.Core {
-	c := newCore(k, m, opts, entry)
+// NewCore builds a core of the given kind over machine m, installing
+// the options' observability hooks and fault injector. An unknown kind
+// returns an error (a caller-supplied kind must not crash a harness).
+func NewCore(k Kind, m *cpu.Machine, opts Options, entry uint64) (cpu.Core, error) {
+	c, err := newCore(k, m, opts, entry)
+	if err != nil {
+		return nil, err
+	}
 	switch cc := c.(type) {
 	case *core.Core:
 		var probe obs.Sink
@@ -152,48 +205,60 @@ func NewCore(k Kind, m *cpu.Machine, opts Options, entry uint64) cpu.Core {
 		if s := obs.Tee(probe, opts.Sink); s != nil {
 			cc.SetSink(s)
 		}
+		if opts.Faults != nil {
+			cc.SetFaults(opts.Faults.New(opts.Sink))
+		}
 	case *inorder.Core:
 		cc.SetSink(opts.Sink)
 	case *ooo.Core:
 		cc.SetSink(opts.Sink)
 	}
-	return c
+	return c, nil
 }
 
-func newCore(k Kind, m *cpu.Machine, opts Options, entry uint64) cpu.Core {
+func newCore(k Kind, m *cpu.Machine, opts Options, entry uint64) (cpu.Core, error) {
 	switch k {
 	case KindInOrder:
-		return inorder.New(m, opts.InOrder, entry)
+		return inorder.New(m, opts.InOrder, entry), nil
 	case KindOOOSmall:
-		return ooo.New(m, opts.OOO, entry)
+		return ooo.New(m, opts.OOO, entry), nil
 	case KindOOOLarge:
-		return ooo.New(m, opts.OOOLg, entry)
+		return ooo.New(m, opts.OOOLg, entry), nil
 	case KindSST:
-		return core.New(m, opts.SST, entry)
+		return core.New(m, opts.SST, entry), nil
 	case KindSSTBig:
 		cfg := opts.SST
 		cfg.DQSize = 2 * opts.SST.DQSize
 		cfg.Checkpoints = 2 * opts.SST.Checkpoints
 		cfg.SSBSize = 2 * opts.SST.SSBSize
-		return core.New(m, cfg, entry)
+		return core.New(m, cfg, entry), nil
 	case KindSSTEA:
 		cfg := opts.SST
 		cfg.SecondStrand = false
-		return core.New(m, cfg, entry)
+		return core.New(m, cfg, entry), nil
 	case KindScout:
 		cfg := core.ScoutConfig()
 		cfg.Width = opts.SST.Width
 		cfg.TakenPenalty = opts.SST.TakenPenalty
 		cfg.MispredictPenalty = opts.SST.MispredictPenalty
 		cfg.RollbackPenalty = opts.SST.RollbackPenalty
-		return core.New(m, cfg, entry)
+		return core.New(m, cfg, entry), nil
 	}
-	panic(fmt.Sprintf("sim: bad kind %d", k))
+	return nil, fmt.Errorf("sim: bad core kind %d", k)
 }
 
 // Run loads the program into a fresh machine, executes it to completion
 // on the selected core model, and returns the outcome.
 func Run(k Kind, prog *asm.Program, opts Options) (Outcome, error) {
+	return RunContext(context.Background(), k, prog, opts)
+}
+
+// RunContext is Run under a caller context: the run aborts with a
+// watchdog error when ctx is cancelled, when Options.Timeout expires,
+// when the cycle budget runs out, or when the livelock detector sees no
+// retirement for a whole window. Fault plans (Options.Faults) are
+// installed on both the core and the memory hierarchy.
+func RunContext(ctx context.Context, k Kind, prog *asm.Program, opts Options) (Outcome, error) {
 	m := mem.NewSparse()
 	prog.Load(m)
 	mach, err := cpu.NewMachine(m, opts.Hier, opts.Pred)
@@ -201,13 +266,32 @@ func Run(k Kind, prog *asm.Program, opts Options) (Outcome, error) {
 		return Outcome{}, err
 	}
 	mach.Hier.SetSink(opts.Sink)
-	c := NewCore(k, mach, opts, prog.Entry)
-	limit := opts.MaxCycles
-	if limit == 0 {
-		limit = DefaultMaxCycles
+	c, err := NewCore(k, mach, opts, prog.Entry)
+	if err != nil {
+		return Outcome{}, err
 	}
-	if err := cpu.Run(c, limit); err != nil {
-		return Outcome{}, fmt.Errorf("sim: %v on %s: %w", k, prog.Desc(), err)
+	var inj *faults.Injector
+	if opts.Faults != nil {
+		// One injector serves both layers so one-shot events and counts
+		// are shared (replacing the per-core one NewCore installed).
+		inj = opts.Faults.New(opts.Sink)
+		if cc, ok := c.(*core.Core); ok {
+			cc.SetFaults(inj)
+		}
+		mach.Hier.SetFaults(inj)
+	}
+	if opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+		defer cancel()
+	}
+	runErr := cpu.RunCtx(ctx, c, cpu.RunConfig{
+		MaxCycles:      opts.CycleLimit(),
+		LivelockWindow: opts.livelockWindow(),
+	})
+	inj.PublishObs(opts.Metrics)
+	if runErr != nil {
+		return Outcome{}, fmt.Errorf("sim: %v on %s: %w", k, prog.Desc(), runErr)
 	}
 	out := Outcome{
 		Kind:    k,

@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"rocksim/internal/cpu"
+)
+
+// TestSimTimeout: a non-terminating program under a wall-clock Timeout
+// returns ErrDeadline in bounded time instead of grinding through the
+// full two-billion-cycle budget.
+func TestSimTimeout(t *testing.T) {
+	prog := mustAssemble(t, `
+		.org 0x10000
+	loop:
+		j loop
+	`)
+	opts := DefaultOptions()
+	opts.Timeout = 50 * time.Millisecond
+	start := time.Now()
+	_, err := Run(KindSST, prog, opts)
+	if !errors.Is(err, cpu.ErrDeadline) {
+		t.Fatalf("want ErrDeadline, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("deadline enforcement took %v", elapsed)
+	}
+}
+
+// TestSimLivelockWindow: with the no-activity window tightened below a
+// single DRAM round trip (300 cycles unloaded), the first compulsory
+// miss stalls the core long enough to trip the detector — demonstrating
+// the watchdog catches a starved pipeline and attributes the failure.
+func TestSimLivelockWindow(t *testing.T) {
+	prog := mustAssemble(t, `
+		.org 0x10000
+		movi r5, 0x4000
+		ld64 r6, (r5)
+		halt
+	`)
+	opts := DefaultOptions()
+	opts.LivelockWindow = 64
+	_, err := Run(KindInOrder, prog, opts)
+	if !errors.Is(err, cpu.ErrLivelock) {
+		t.Fatalf("want ErrLivelock with a 64-cycle window, got %v", err)
+	}
+}
+
+// TestSimDefaultWindowPermitsRealWorkloads: the default livelock window
+// must not false-positive on an ordinary run (the pointer-chase case —
+// millions of cycles between bulk commits — is covered by the workload
+// equivalence tests, which run with the watchdog at defaults).
+func TestSimDefaultWindowPermitsRealWorkloads(t *testing.T) {
+	prog, err := genProgram(3, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range Kinds {
+		if _, err := Run(k, prog, DefaultOptions()); err != nil {
+			t.Errorf("%v: unexpected watchdog error: %v", k, err)
+		}
+	}
+}

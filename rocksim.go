@@ -183,21 +183,42 @@ func Emulate(prog *Program, maxInsts uint64) (*isa.Emulator, *mem.Sparse, error)
 type Chip = cmp.Chip
 
 // NewChip builds a multiprogrammed CMP: core i of kind k runs progs[i]
-// in a private address space over the shared L2/DRAM.
+// in a private address space over the shared L2/DRAM. An unknown kind
+// returns an error. When opts.Faults is set, each core gets its own
+// injector replaying the plan, and the shared hierarchy another.
 func NewChip(k CoreKind, progs []*Program, opts Options) (*Chip, error) {
-	return cmp.NewPrivate(opts.Hier, opts.Pred, progs,
-		func(id int, m *cpu.Machine, entry uint64) cpu.Core {
+	ch, err := cmp.NewPrivate(opts.Hier, opts.Pred, progs,
+		func(id int, m *cpu.Machine, entry uint64) (cpu.Core, error) {
 			return sim.NewCore(k, m, opts, entry)
 		})
+	if err != nil {
+		return nil, err
+	}
+	installChipFaults(ch, opts)
+	return ch, nil
 }
 
 // NewSharedChip builds a shared-memory CMP: every core of kind k
 // executes prog's image in one coherent memory, starting at entries[i].
 func NewSharedChip(k CoreKind, prog *Program, entries []uint64, opts Options) (*Chip, error) {
-	return cmp.NewShared(opts.Hier, opts.Pred, prog, entries,
-		func(id int, m *cpu.Machine, entry uint64) cpu.Core {
+	ch, err := cmp.NewShared(opts.Hier, opts.Pred, prog, entries,
+		func(id int, m *cpu.Machine, entry uint64) (cpu.Core, error) {
 			return sim.NewCore(k, m, opts, entry)
 		})
+	if err != nil {
+		return nil, err
+	}
+	installChipFaults(ch, opts)
+	return ch, nil
+}
+
+// installChipFaults arms the shared hierarchy's fault injector for a
+// chip built under a fault plan (per-core injectors were installed by
+// sim.NewCore).
+func installChipFaults(ch *Chip, opts Options) {
+	if opts.Faults != nil {
+		ch.Hier.SetFaults(opts.Faults.New(opts.Sink))
+	}
 }
 
 // Experiment harness: regenerates the paper's tables and figures.
