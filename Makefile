@@ -9,7 +9,7 @@
 
 GO ?= go
 
-.PHONY: all tier1 tier2 race smoke-parallel fault-fuzz determinism ci bench-overhead golden
+.PHONY: all tier1 tier2 race smoke-parallel fault-fuzz determinism ci bench-overhead golden bench bench-guard profile
 
 all: tier1
 
@@ -39,7 +39,26 @@ smoke-parallel:
 	diff -u /tmp/sstbench-j1.txt /tmp/sstbench-j4.txt
 	@echo "smoke-parallel: -j 1 and -j 4 output identical"
 
-tier2: race smoke-parallel fault-fuzz
+tier2: race smoke-parallel fault-fuzz bench-guard
+
+# Measure simulator throughput (simulated cycles per wall-clock second
+# and allocations per run, every core kind) and record the baseline JSON
+# consumed by bench-guard. Machine-specific: regenerate on the machine
+# that runs the guard.
+bench:
+	$(GO) run ./cmd/simthroughput -o BENCH_simthroughput.json
+
+# Fail when any kind runs at <80% of the recorded simcycles/s or
+# allocates >120% of the recorded allocs/op; a missing baseline skips.
+bench-guard:
+	$(GO) run ./cmd/simthroughput -check BENCH_simthroughput.json
+
+# CPU+heap profile of a test-scale sstbench run, for hot-loop work (see
+# docs/PERFORMANCE.md). Inspect with: go tool pprof cpu.prof
+profile:
+	$(GO) build -o /tmp/sstbench-prof ./cmd/sstbench
+	/tmp/sstbench-prof -scale test -j 1 -cpuprofile cpu.prof -memprofile mem.prof > /dev/null
+	@echo "profile: wrote cpu.prof and mem.prof (go tool pprof cpu.prof)"
 
 determinism:
 	$(GO) test -run TestObs -count=2 ./...

@@ -1,0 +1,162 @@
+// Command simthroughput measures the simulator's own speed — simulated
+// cycles per wall-clock second and heap allocations per simulated run —
+// for every core model, on the OLTP workload at test scale (the same
+// configuration as the BenchmarkSim* benchmarks).
+//
+// Usage:
+//
+//	simthroughput -o BENCH_simthroughput.json   # write a fresh baseline
+//	simthroughput -check BENCH_simthroughput.json
+//
+// In -check mode the current machine is re-measured and compared against
+// the recorded baseline: a kind that runs at less than 80% of its
+// recorded simcycles/s, or allocates more than 120% of its recorded
+// allocs/op, fails the guard. A missing baseline file is a skip, not a
+// failure, because the numbers are machine-specific — regenerate with
+// `make bench` on the machine that runs the guard.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"rocksim/internal/sim"
+	"rocksim/internal/workload"
+)
+
+// kindMetrics is one core model's measurement.
+type kindMetrics struct {
+	SimCyclesPerSec float64 `json:"simcycles_per_sec"`
+	SimInstsPerSec  float64 `json:"siminsts_per_sec"`
+	AllocsPerOp     float64 `json:"allocs_per_op"`
+	BytesPerOp      float64 `json:"bytes_per_op"`
+}
+
+type report struct {
+	Workload string                 `json:"workload"`
+	Scale    string                 `json:"scale"`
+	Kinds    map[string]kindMetrics `json:"kinds"`
+}
+
+func measureAll() (report, error) {
+	w, err := workload.Build("oltp", workload.ScaleTest)
+	if err != nil {
+		return report{}, err
+	}
+	rep := report{Workload: "oltp", Scale: "test", Kinds: map[string]kindMetrics{}}
+	opts := sim.DefaultOptions()
+	for _, k := range sim.Kinds {
+		k := k
+		var cycles, insts uint64
+		var benchErr error
+		r := testing.Benchmark(func(b *testing.B) {
+			cycles, insts = 0, 0
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				out, err := sim.Run(k, w.Program, opts)
+				if err != nil {
+					benchErr = err
+					b.FailNow()
+				}
+				cycles += out.Cycles
+				insts += out.Retired
+			}
+		})
+		if benchErr != nil {
+			return report{}, fmt.Errorf("%v: %w", k, benchErr)
+		}
+		secs := r.T.Seconds()
+		if secs <= 0 || r.N == 0 {
+			return report{}, fmt.Errorf("%v: empty benchmark result", k)
+		}
+		rep.Kinds[k.String()] = kindMetrics{
+			SimCyclesPerSec: float64(cycles) / secs,
+			SimInstsPerSec:  float64(insts) / secs,
+			AllocsPerOp:     float64(r.MemAllocs) / float64(r.N),
+			BytesPerOp:      float64(r.MemBytes) / float64(r.N),
+		}
+	}
+	return rep, nil
+}
+
+func main() {
+	out := flag.String("o", "", "write measurements as JSON to this file ('-' = stdout)")
+	check := flag.String("check", "", "compare a fresh measurement against this baseline JSON (±20%); missing file = skip")
+	flag.Parse()
+	if (*out == "") == (*check == "") {
+		fmt.Fprintln(os.Stderr, "simthroughput: exactly one of -o or -check is required")
+		os.Exit(2)
+	}
+
+	if *check != "" {
+		base, err := os.ReadFile(*check)
+		if os.IsNotExist(err) {
+			fmt.Printf("simthroughput: no baseline at %s; skipping guard (run `make bench` to record one)\n", *check)
+			return
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simthroughput:", err)
+			os.Exit(1)
+		}
+		var want report
+		if err := json.Unmarshal(base, &want); err != nil {
+			fmt.Fprintf(os.Stderr, "simthroughput: bad baseline %s: %v\n", *check, err)
+			os.Exit(1)
+		}
+		got, err := measureAll()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simthroughput:", err)
+			os.Exit(1)
+		}
+		failed := false
+		for kind, w := range want.Kinds {
+			g, ok := got.Kinds[kind]
+			if !ok {
+				fmt.Printf("FAIL %-10s missing from current measurement\n", kind)
+				failed = true
+				continue
+			}
+			switch {
+			case g.SimCyclesPerSec < 0.8*w.SimCyclesPerSec:
+				fmt.Printf("FAIL %-10s simcycles/s %.0f < 80%% of baseline %.0f\n", kind, g.SimCyclesPerSec, w.SimCyclesPerSec)
+				failed = true
+			case g.AllocsPerOp > 1.2*w.AllocsPerOp+1:
+				fmt.Printf("FAIL %-10s allocs/op %.0f > 120%% of baseline %.0f\n", kind, g.AllocsPerOp, w.AllocsPerOp)
+				failed = true
+			default:
+				fmt.Printf("ok   %-10s %.2fM simcycles/s (baseline %.2fM), %.0f allocs/op\n",
+					kind, g.SimCyclesPerSec/1e6, w.SimCyclesPerSec/1e6, g.AllocsPerOp)
+			}
+		}
+		if failed {
+			os.Exit(1)
+		}
+		return
+	}
+
+	rep, err := measureAll()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simthroughput:", err)
+		os.Exit(1)
+	}
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simthroughput:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "simthroughput:", err)
+		os.Exit(1)
+	}
+	for kind, m := range rep.Kinds {
+		fmt.Printf("%-10s %.2fM simcycles/s, %.0f allocs/op\n", kind, m.SimCyclesPerSec/1e6, m.AllocsPerOp)
+	}
+}

@@ -86,22 +86,63 @@ func NewShared(hcfg mem.HierConfig, pcfg bpred.Config, prog *asm.Program, entrie
 }
 
 // Run steps all cores in lockstep until every core halts or maxCycles
-// elapse.
+// elapse. When every alive core proves it is in a pure stall (see
+// cpu.FastForwarder), the lockstep clock jumps to the earliest cycle any
+// of them can change: with no core executing there are no stores, so no
+// coherence traffic or shared-level contention can arise mid-jump, and
+// per-core bulk crediting keeps all statistics bit-identical to naive
+// lockstep.
 func (c *Chip) Run(maxCycles uint64) error {
 	for c.cycle < maxCycles {
 		alive := false
-		for i, core := range c.Cores {
+		canSkip := true
+		var target uint64
+		for _, core := range c.Cores {
 			if core.Done() {
 				continue
 			}
 			alive = true
-			core.Step()
-			if err := core.Err(); err != nil {
-				return fmt.Errorf("cmp: core %d: %w", i, err)
+			if !canSkip {
+				continue
+			}
+			ff, ok := core.(cpu.FastForwarder)
+			var t uint64
+			if ok {
+				t = ff.NextEvent()
+			}
+			if t <= c.cycle {
+				canSkip = false
+				continue
+			}
+			if target == 0 || t < target {
+				target = t
 			}
 		}
 		if !alive {
 			return nil
+		}
+		if canSkip {
+			if target > maxCycles {
+				target = maxCycles
+			}
+			if target > c.cycle {
+				for _, core := range c.Cores {
+					if !core.Done() {
+						core.(cpu.FastForwarder).SkipTo(target)
+					}
+				}
+				c.cycle = target
+				continue
+			}
+		}
+		for i, core := range c.Cores {
+			if core.Done() {
+				continue
+			}
+			core.Step()
+			if err := core.Err(); err != nil {
+				return fmt.Errorf("cmp: core %d: %w", i, err)
+			}
 		}
 		c.cycle++
 	}

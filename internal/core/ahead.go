@@ -64,11 +64,10 @@ func (c *Core) aheadInst(in isa.Inst, pc uint64, now uint64) (cont, redirected b
 	var vals [3]int64
 	var isNA [3]bool
 	anyNA := false
+	// r0 never has its NA bit set and c.regs[0] is never written, so the
+	// gather needs no zero-register special case.
 	for i := 0; i < n; i++ {
 		r := srcs[i]
-		if r == isa.RegZero {
-			continue
-		}
 		if c.na[r] {
 			isNA[i] = true
 			anyNA = true
@@ -83,9 +82,10 @@ func (c *Core) aheadInst(in isa.Inst, pc uint64, now uint64) (cont, redirected b
 		return false, false
 	}
 	if !anyNA {
-		// Short-wait scoreboard: stall-on-use for L1 hits and busy ALUs.
+		// Short-wait scoreboard: stall-on-use for L1 hits and busy ALUs
+		// (readyAt[0] is permanently zero, na bits are all clear here).
 		for i := 0; i < n; i++ {
-			if r := srcs[i]; r != isa.RegZero && !c.na[r] && c.readyAt[r] > now {
+			if c.readyAt[srcs[i]] > now {
 				return false, false
 			}
 		}
@@ -184,6 +184,9 @@ func (c *Core) write(rd uint8, v int64, ready uint64, seq uint64) {
 	c.na[rd] = false
 	c.lastWriter[rd] = seq
 	c.readyAt[rd] = ready
+	if ready > c.sbHorizon {
+		c.sbHorizon = ready
+	}
 }
 
 func (c *Core) aheadALU(in isa.Inst, pc uint64, seq uint64, vals [3]int64, isNA [3]bool, anyNA bool, now uint64) (bool, bool) {
@@ -290,6 +293,9 @@ func (c *Core) deferResult(rd uint8, val int64, ready uint64, pc uint64, seq uin
 		// Scouting: results still arrive and unblock dependents.
 	}
 	c.markNA(rd, seq)
+	if len(c.pend) == 0 || ready < c.pendMin {
+		c.pendMin = ready
+	}
 	c.pend = append(c.pend, pendingResult{seq: seq, rd: rd, val: val, ready: ready})
 	c.stats.PendingMisses++
 	return true
@@ -324,6 +330,11 @@ func (c *Core) deferToDQ(in isa.Inst, pc uint64, seq uint64, vals [3]int64, isNA
 		}
 	}
 	c.dq = append(c.dq, e)
+	if !(e.isNA[0] || e.isNA[1] || e.isNA[2]) {
+		// Deferral is always keyed on an NA operand today, but keep the
+		// ready count correct if an always-ready entry ever lands here.
+		c.dqReady++
+	}
 	c.stats.Deferrals++
 	if in.Op.IsStore() {
 		c.dqStores++

@@ -74,6 +74,12 @@ func (c *Core) commitEpochs(now uint64) {
 	if c.mode != ModeSpec || len(c.ckpts) == 0 {
 		return
 	}
+	if !c.resolveDirty {
+		// Nothing has resolved or been squashed since the last blocked
+		// scan: the oldest unresolved seq is unchanged and the epoch
+		// boundary only moves up, so the commit gate still fails.
+		return
+	}
 	oldest := c.oldestUnresolvedSeq()
 	for len(c.ckpts) > 0 {
 		boundary := c.seq
@@ -81,6 +87,7 @@ func (c *Core) commitEpochs(now uint64) {
 			boundary = c.ckpts[1].startSeq
 		}
 		if oldest < boundary {
+			c.resolveDirty = false
 			return
 		}
 		c.drainSSB(boundary, now)
@@ -105,13 +112,17 @@ func (c *Core) commitEpochs(now uint64) {
 			c.sink.SpanEnd(now, "checkpoint", c.ckpts[0].startSeq)
 			c.sink.Event(now, "checkpoint", "commit", fmt.Sprintf("epoch boundary seq=%d", boundary))
 		}
-		c.ckpts = c.ckpts[1:]
+		// Shift in place rather than re-slicing from 1: advancing the
+		// base would orphan the backing array's front and force the next
+		// takeCheckpoint append to reallocate, putting a ~1KB allocation
+		// on the steady-state commit path.
+		n := copy(c.ckpts, c.ckpts[1:])
+		c.ckpts = c.ckpts[:n]
 		c.stats.EpochCommits++
 	}
 	// Everything committed: back to normal operation.
 	c.mode = ModeNormal
 	c.readSet = c.readSet[:0]
-	clear(c.resolved)
 }
 
 // drainSSB writes buffered stores with seq < boundary to memory in
@@ -161,11 +172,15 @@ func (c *Core) rollback(idx int, now uint64, cause RollbackCause) {
 	cut := ck.startSeq
 	dq := c.dq[:0]
 	c.dqStores = 0
+	c.dqReady = 0
 	for _, e := range c.dq {
 		if e.seq < cut {
 			dq = append(dq, e)
 			if e.in.Op.IsStore() {
 				c.dqStores++
+			}
+			if !(e.isNA[0] || e.isNA[1] || e.isNA[2]) {
+				c.dqReady++
 			}
 		}
 	}
@@ -185,17 +200,21 @@ func (c *Core) rollback(idx int, now uint64, cause RollbackCause) {
 	}
 	c.ssb = ssb
 	pend := c.pend[:0]
+	var pendMin uint64
 	for _, p := range c.pend {
 		if p.seq < cut {
 			pend = append(pend, p)
+			if pendMin == 0 || p.ready < pendMin {
+				pendMin = p.ready
+			}
 		}
 	}
 	c.pend = pend
+	c.pendMin = pendMin
 
 	c.scoutArmed = false
 	if len(c.ckpts) == 0 {
 		c.mode = ModeNormal
-		clear(c.resolved)
 	} else {
 		c.mode = ModeSpec
 	}
@@ -206,6 +225,7 @@ func (c *Core) rollback(idx int, now uint64, cause RollbackCause) {
 	}
 	c.forceProgress = true
 	c.forceProgressPC = ck.pc
+	c.resolveDirty = true
 	c.fe.Redirect(ck.pc, now, c.cfg.RollbackPenalty)
 }
 

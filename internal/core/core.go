@@ -320,15 +320,33 @@ type Core struct {
 	lastWriter [isa.NumRegs]uint64
 	readyAt    [isa.NumRegs]uint64 // short-wait scoreboard (L1 hits, ALU lat)
 
-	mode     Mode
-	seq      uint64 // next sequence number (monotonic, never rewinds)
-	ckpts    []checkpoint
-	dq       []dqEntry
-	ssb      []ssbEntry
-	pend     []pendingResult
-	resolved map[uint64]int64
+	mode  Mode
+	seq   uint64 // next sequence number (monotonic, never rewinds)
+	ckpts []checkpoint
+	dq    []dqEntry
+	ssb   []ssbEntry
+	pend  []pendingResult
+
+	// pendMin is the earliest ready cycle among pend entries (meaningful
+	// only while pend is non-empty); deliver scans the list only once the
+	// clock reaches it. Maintained on append (aheadLoad/replay misses,
+	// long ops), on delivery and on rollback squash.
+	pendMin uint64
+
+	// sbHorizon is a monotonic upper bound on every readyAt value the
+	// scoreboard has ever held. Once the clock passes it, no register is
+	// still waiting on a short-latency producer and nextTimer can skip
+	// the scoreboard scan entirely.
+	sbHorizon uint64
 
 	dqStores int // deferred stores currently in the DQ
+
+	// dqReady counts DQ entries whose operands have all resolved, so the
+	// replay strand's oldest-ready scan short-circuits to nothing when
+	// every entry is still waiting (the common state while misses are
+	// outstanding). Maintained by forward (an entry's last NA flag
+	// clears), replay (a ready entry dequeues) and rollback (squash).
+	dqReady int
 
 	// readSet records speculative ahead-strand loads (seq-ordered).
 	// A deferred store whose address was unknown verifies against it at
@@ -370,6 +388,33 @@ type Core struct {
 	err   error
 	cycle uint64
 
+	// resolveDirty gates the per-cycle commit scan: it is set whenever
+	// something resolves or is squashed (delivery, replay, rollback, tx
+	// events) and cleared when commitEpochs finds the oldest epoch still
+	// blocked. While clear, the oldest unresolved seq cannot have grown
+	// and the epoch boundary only moves up, so the scan is skipped.
+	resolveDirty bool
+
+	// quiet records that the previous Step made no progress; stall
+	// detection (the purity snapshot in skip.go) only runs on a cycle
+	// whose predecessor was already quiet, keeping the snapshot off the
+	// busy path. A stall window is merely detected one cycle later.
+	// snapBuf is the reused snapshot buffer for those detection cycles.
+	quiet   bool
+	snapBuf stepSnap
+
+	// Fast-forward state, valid while cycle < ffNext: the last Step was a
+	// pure stall classified as ffKind with the recorded per-cycle stall
+	// and MLP contributions, and nothing can change before ffNext (see
+	// skip.go). Self-expiring: once the clock reaches ffNext, NextEvent
+	// reports no skip and the next Step re-derives everything.
+	ffNext     uint64
+	ffKind     CycleKind
+	ffDQStall  uint64
+	ffSSBStall uint64
+	ffAtStall  uint64
+	ffMLP      int
+
 	stats Stats
 }
 
@@ -388,10 +433,12 @@ func New(m *cpu.Machine, cfg Config, entry uint64) *Core {
 		cfg.DQSize = 0
 	}
 	c := &Core{
-		cfg:      cfg,
-		m:        m,
-		fe:       cpu.NewFrontend(m, entry),
-		resolved: make(map[uint64]int64),
+		cfg: cfg,
+		m:   m,
+		fe:  cpu.NewFrontend(m, entry),
+	}
+	if cfg.Checkpoints > 0 {
+		c.ckpts = make([]checkpoint, 0, cfg.Checkpoints)
 	}
 	c.seq = 1 // seq 0 reserved so lastWriter==0 means "no producer"
 	c.stats.DQOcc = stats.NewHist(max(cfg.DQSize, 1))
@@ -442,6 +489,11 @@ func (c *Core) SetFaults(in *faults.Injector) { c.flt = in }
 // Step advances the core one cycle.
 func (c *Core) Step() {
 	now := c.cycle
+	c.ffNext = 0
+	checkStall := c.quiet
+	if checkStall {
+		c.snapInto(&c.snapBuf)
+	}
 
 	c.deliver(now)
 	if c.tx.active && c.tx.abort != 0 {
@@ -487,20 +539,25 @@ func (c *Core) Step() {
 		return
 	}
 
-	c.classifyCycle(executed, replayed)
+	kind := c.classifyCycle(executed, replayed)
 	if c.sink != nil {
 		c.occ[0], c.occ[1], c.occ[2], c.occ[3] = len(c.dq), len(c.ssb), len(c.ckpts), len(c.pend)
 		c.sink.CycleState(now, c.mode.String(), executed, replayed, c.occ[:])
 	}
-	c.stats.SampleMLP(c.m.Hier.OutstandingDataMisses(c.m.CoreID, now))
+	outstanding := c.m.Hier.OutstandingDataMisses(c.m.CoreID, now)
+	c.stats.SampleMLP(outstanding)
 	c.stats.DQOcc.Add(len(c.dq))
 	c.stats.SSBOcc.Add(len(c.ssb))
 	c.stats.CkptOcc.Add(len(c.ckpts))
 	c.stats.Cycles++
 	c.cycle++
+	c.quiet = executed == 0 && replayed == 0 && !c.done
+	if checkStall {
+		c.noteStall(&c.snapBuf, executed, replayed, kind, outstanding, now)
+	}
 }
 
-func (c *Core) classifyCycle(executed, replayed int) {
+func (c *Core) classifyCycle(executed, replayed int) CycleKind {
 	var k CycleKind
 	switch c.mode {
 	case ModeNormal:
@@ -524,20 +581,30 @@ func (c *Core) classifyCycle(executed, replayed int) {
 		}
 	}
 	c.stats.ModeCycles[k]++
+	return k
 }
 
 // deliver applies pending deferred results whose data has arrived.
 func (c *Core) deliver(now uint64) {
+	if len(c.pend) == 0 || now < c.pendMin {
+		return
+	}
 	live := c.pend[:0]
+	var min uint64
 	for _, p := range c.pend {
 		if p.ready > now {
 			live = append(live, p)
+			if min == 0 || p.ready < min {
+				min = p.ready
+			}
 			continue
 		}
-		c.resolved[p.seq] = p.val
+		c.forward(p.seq, p.val)
 		c.deliverRF(p.seq, p.rd, p.val, now)
+		c.resolveDirty = true
 	}
 	c.pend = live
+	c.pendMin = min
 }
 
 // deliverRF writes a resolved value into the architectural register file

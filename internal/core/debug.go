@@ -23,8 +23,7 @@ func (c *Core) DebugDump() string {
 		fmt.Fprintf(&b, " {%d %v pc=%#x", e.seq, e.in.Op, e.pc)
 		for s := 0; s < e.nsrc; s++ {
 			if e.isNA[s] {
-				_, have := c.resolved[e.dep[s]]
-				fmt.Fprintf(&b, " dep%d=%d(res=%v)", s, e.dep[s], have)
+				fmt.Fprintf(&b, " dep%d=%d", s, e.dep[s])
 			}
 		}
 		fmt.Fprintf(&b, "}")
@@ -37,7 +36,7 @@ func (c *Core) DebugDump() string {
 		}
 		fmt.Fprintf(&b, " {%d rd=%d ready=%d}", p.seq, p.rd, p.ready)
 	}
-	fmt.Fprintf(&b, "\nssb=%d dqStores=%d resolved=%d\n", len(c.ssb), c.dqStores, len(c.resolved))
+	fmt.Fprintf(&b, "\nssb=%d dqStores=%d\n", len(c.ssb), c.dqStores)
 	fmt.Fprintf(&b, "na:")
 	for r := 0; r < len(c.na); r++ {
 		if c.na[r] {

@@ -28,6 +28,8 @@ func (c *Core) replay(now uint64, budget int) int {
 		// Remove the entry before executing it so a rollback triggered
 		// by the entry itself sees a consistent queue.
 		c.dq = append(c.dq[:idx], c.dq[idx+1:]...)
+		c.dqReady--
+		c.resolveDirty = true
 		if e.in.Op.IsStore() {
 			c.dqStores--
 		}
@@ -42,34 +44,51 @@ func (c *Core) replay(now uint64, budget int) int {
 }
 
 // nextReplayable finds the oldest DQ entry whose operands have all
-// resolved. There is no ordering gate between deferred memory
-// operations: loads replay optimistically (joining the read set) and
-// stores — whose SSB slots are sequence-sorted — verify against the read
-// set when their addresses resolve, rolling back on a true conflict.
-// Independent miss chains therefore replay fully in parallel.
+// resolved. Resolved values are forwarded into waiting entries at
+// delivery time (see forward), so readiness is a pure NA-flag scan.
+// There is no ordering gate between deferred memory operations: loads
+// replay optimistically (joining the read set) and stores — whose SSB
+// slots are sequence-sorted — verify against the read set when their
+// addresses resolve, rolling back on a true conflict. Independent miss
+// chains therefore replay fully in parallel.
 func (c *Core) nextReplayable() (idx int, vals [3]int64, ok bool) {
+	if c.dqReady == 0 {
+		return 0, vals, false
+	}
 	for i := range c.dq {
 		e := &c.dq[i]
-		ready := true
-		var v [3]int64
-		for s := 0; s < e.nsrc; s++ {
-			if !e.isNA[s] {
-				v[s] = e.vals[s]
-				continue
-			}
-			r, have := c.resolved[e.dep[s]]
-			if !have {
-				ready = false
-				break
-			}
-			v[s] = r
-		}
-		if !ready {
+		if e.isNA[0] || e.isNA[1] || e.isNA[2] {
 			continue
 		}
-		return i, v, true
+		return i, e.vals, true
 	}
 	return 0, vals, false
+}
+
+// forward broadcasts a freshly resolved value to every DQ entry waiting
+// on the producing sequence number, clearing the operand's NA flag. This
+// is the DQ half of the hardware's fill broadcast (deliverRF is the
+// register-file half): values land in consumers when they resolve, so
+// the replay scan never needs a seq→value lookup table. An entry
+// deferred after its producer resolved cannot exist — deferral captures
+// a dependence only while the register's NA bit is set, and delivery
+// clears that bit everywhere (including checkpoint copies) before any
+// later instruction can observe it.
+func (c *Core) forward(seq uint64, v int64) {
+	for i := range c.dq {
+		e := &c.dq[i]
+		cleared := false
+		for s := 0; s < e.nsrc; s++ {
+			if e.isNA[s] && e.dep[s] == seq {
+				e.vals[s] = v
+				e.isNA[s] = false
+				cleared = true
+			}
+		}
+		if cleared && !(e.isNA[0] || e.isNA[1] || e.isNA[2]) {
+			c.dqReady++
+		}
+	}
 }
 
 // replayEntry executes one resolved DQ entry (already dequeued).
@@ -79,7 +98,7 @@ func (c *Core) replayEntry(e *dqEntry, vals [3]int64, now uint64) (rolledBack bo
 	switch in.Op.Class() {
 	case isa.ClassALU:
 		v := isa.ALUResult(in, vals[0], vals[1])
-		c.resolved[e.seq] = v
+		c.forward(e.seq, v)
 		c.deliverRF(e.seq, in.Rd, v, now)
 
 	case isa.ClassLoad:
@@ -96,11 +115,14 @@ func (c *Core) replayEntry(e *dqEntry, vals [3]int64, now uint64) (rolledBack bo
 		if c.isMiss(res, now) {
 			// A dependent miss: becomes a pending result; consumers in
 			// the DQ keep waiting on this seq.
+			if len(c.pend) == 0 || res.Ready < c.pendMin {
+				c.pendMin = res.Ready
+			}
 			c.pend = append(c.pend, pendingResult{seq: e.seq, rd: in.Rd, val: v, ready: res.Ready})
 			c.stats.PendingMisses++
 			return false
 		}
-		c.resolved[e.seq] = v
+		c.forward(e.seq, v)
 		c.deliverRF(e.seq, in.Rd, v, now)
 
 	case isa.ClassStore:
@@ -119,7 +141,6 @@ func (c *Core) replayEntry(e *dqEntry, vals [3]int64, now uint64) (rolledBack bo
 			return true
 		}
 		c.m.Hier.Access(c.m.CoreID, mem.AccPrefetch, addr, now)
-		c.resolved[e.seq] = 0
 
 	case isa.ClassBranch:
 		taken := isa.BranchTaken(in.Op, vals[0], vals[1])
@@ -131,7 +152,6 @@ func (c *Core) replayEntry(e *dqEntry, vals [3]int64, now uint64) (rolledBack bo
 			c.rollback(c.epochOf(e.seq), now, RbBranch)
 			return true
 		}
-		c.resolved[e.seq] = 0
 
 	case isa.ClassJump: // deferred jalr target verification
 		target := uint64(vals[0] + int64(in.Imm))
@@ -141,11 +161,9 @@ func (c *Core) replayEntry(e *dqEntry, vals [3]int64, now uint64) (rolledBack bo
 			c.rollback(c.epochOf(e.seq), now, RbJalr)
 			return true
 		}
-		c.resolved[e.seq] = 0
-
-	default:
-		// Other classes are never deferred.
-		c.resolved[e.seq] = 0
 	}
+	// Stores, branches and jumps produce no register value (the jalr
+	// link register is written at defer time), so nothing waits on their
+	// sequence numbers and there is no value to forward.
 	return false
 }

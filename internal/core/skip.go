@@ -1,0 +1,156 @@
+package core
+
+import (
+	"rocksim/internal/bpred"
+	"rocksim/internal/cpu"
+	"rocksim/internal/obs"
+)
+
+// This file implements cpu.FastForwarder for the SST core: proving that
+// a cycle was a pure stall, finding the earliest future cycle at which
+// anything can change, and bulk-crediting the skipped cycles so every
+// counter, histogram and sink emission is bit-identical to naive
+// stepping.
+//
+// Purity is established by snapshotting — at Step entry — every piece
+// of state a stall cycle is forbidden to touch, and comparing at Step
+// exit. The set errs on the side of inclusion: any delivery, replay,
+// commit, rollback, checkpoint take, scout entry, mode change,
+// transaction event, predictor access (a deferred-branch retry consults
+// the direction predictor every cycle; a jalr retry may pop the RAS) or
+// fault-injector query (clamp probes record per retry inside an active
+// window) marks the cycle unskippable. What remains — the genuinely
+// replicable stalls — mutates only time-indexed accounting, which
+// SkipTo replays in closed form.
+
+var _ cpu.FastForwarder = (*Core)(nil)
+
+// stepSnap is the Step-entry snapshot backing the purity check.
+type stepSnap struct {
+	seq          uint64
+	mode         Mode
+	pendLen      int
+	rollbacks    uint64
+	commits      uint64
+	ckptsTaken   uint64
+	retired      uint64
+	scoutEntries uint64
+	tx           TxStats
+	pred         bpred.Stats
+	ghr          uint64
+	fltMut       uint64
+	dqStall      uint64
+	ssbStall     uint64
+	atStall      uint64
+}
+
+// snapInto fills s with the Step-entry state. It writes through a
+// pointer (the caller reuses one buffer) so the hot path never copies or
+// zeroes the struct.
+func (c *Core) snapInto(s *stepSnap) {
+	s.seq = c.seq
+	s.mode = c.mode
+	s.pendLen = len(c.pend)
+	s.rollbacks = c.stats.Rollbacks
+	s.commits = c.stats.EpochCommits
+	s.ckptsTaken = c.stats.CheckpointsTaken
+	s.retired = c.stats.Retired
+	s.scoutEntries = c.stats.ScoutEntries
+	s.tx = c.stats.Tx
+	s.pred = c.m.Pred.Stats
+	s.ghr = c.m.Pred.History()
+	s.fltMut = c.flt.Mutations()
+	s.dqStall = c.stats.DQFullStallCycles
+	s.ssbStall = c.stats.SSBFullStallCycles
+	s.atStall = c.stats.AtomicStallCycles
+}
+
+// noteStall runs at the end of Step: if the cycle was a replicable pure
+// stall it records the per-cycle credit deltas and the skip horizon,
+// otherwise it leaves fast-forwarding disabled.
+func (c *Core) noteStall(s *stepSnap, executed, replayed int, kind CycleKind, outstanding int, now uint64) {
+	if executed != 0 || replayed != 0 || c.done || c.err != nil ||
+		c.seq != s.seq || c.mode != s.mode || len(c.pend) != s.pendLen ||
+		c.stats.Rollbacks != s.rollbacks || c.stats.EpochCommits != s.commits ||
+		c.stats.CheckpointsTaken != s.ckptsTaken || c.stats.Retired != s.retired ||
+		c.stats.ScoutEntries != s.scoutEntries || c.stats.Tx != s.tx ||
+		c.m.Pred.Stats != s.pred || c.m.Pred.History() != s.ghr ||
+		c.flt.Mutations() != s.fltMut {
+		return
+	}
+	c.ffKind = kind
+	c.ffDQStall = c.stats.DQFullStallCycles - s.dqStall
+	c.ffSSBStall = c.stats.SSBFullStallCycles - s.ssbStall
+	c.ffAtStall = c.stats.AtomicStallCycles - s.atStall
+	c.ffMLP = outstanding
+	c.ffNext = c.nextTimer(now)
+}
+
+// nextTimer returns the earliest cycle strictly after now at which the
+// core's state can change (0 = nothing pending): a deferred result
+// delivering, a scoreboarded register becoming ready, the frontend
+// finishing a bubble or line fill, a data-side MSHR fill moving the
+// outstanding-miss count, or the fault plan entering a new regime.
+func (c *Core) nextTimer(now uint64) uint64 {
+	var next uint64
+	bound := func(t uint64) {
+		if t > now && (next == 0 || t < next) {
+			next = t
+		}
+	}
+	bound(c.fe.NextDelivery(now))
+	for i := range c.pend {
+		bound(c.pend[i].ready)
+	}
+	// sbHorizon is a monotonic upper bound on every readyAt value ever
+	// written; once the clock passes it the whole scoreboard is quiescent
+	// and the scan is skippable (rollback only restores values an earlier
+	// write already folded into the horizon).
+	if c.sbHorizon > now {
+		for _, t := range c.readyAt {
+			bound(t)
+		}
+	}
+	bound(c.m.Hier.NextDataFill(c.m.CoreID, now))
+	if c.flt != nil {
+		bound(c.flt.NextChange(now))
+	}
+	return next
+}
+
+// NextEvent implements cpu.FastForwarder. It reports the pure-stall
+// horizon recorded by the last Step; once the clock reaches it the
+// answer decays to 0 and the core must be stepped naively.
+func (c *Core) NextEvent() uint64 {
+	if c.ffNext > c.cycle {
+		return c.ffNext
+	}
+	return 0
+}
+
+// SkipTo implements cpu.FastForwarder: it credits cycles
+// [Cycle(), target) exactly as repeating the recorded pure-stall Step
+// would, then advances the clock to target.
+func (c *Core) SkipTo(target uint64) {
+	if target <= c.cycle {
+		return
+	}
+	n := target - c.cycle
+	c.stats.ModeCycles[c.ffKind] += n
+	c.stats.DQFullStallCycles += c.ffDQStall * n
+	c.stats.SSBFullStallCycles += c.ffSSBStall * n
+	c.stats.AtomicStallCycles += c.ffAtStall * n
+	if c.ffMLP > 0 {
+		c.stats.MLPSamples += n
+		c.stats.MLPSum += uint64(c.ffMLP) * n
+	}
+	if c.sink != nil {
+		c.occ[0], c.occ[1], c.occ[2], c.occ[3] = len(c.dq), len(c.ssb), len(c.ckpts), len(c.pend)
+		obs.EmitCycleRun(c.sink, c.cycle, target, c.mode.String(), c.occ[:])
+	}
+	c.stats.DQOcc.AddN(len(c.dq), n)
+	c.stats.SSBOcc.AddN(len(c.ssb), n)
+	c.stats.CkptOcc.AddN(len(c.ckpts), n)
+	c.stats.Cycles += n
+	c.cycle = target
+}

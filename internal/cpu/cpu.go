@@ -34,6 +34,32 @@ type Core interface {
 	Err() error
 }
 
+// FastForwarder is the optional Core extension behind event-driven
+// stall skipping. A core that can prove it is in a pure stall — a state
+// in which stepping would change nothing except time-indexed stall
+// accounting — reports the earliest future cycle at which its state can
+// actually change, and the run loop advances the clock there in one
+// jump.
+//
+// The contract is bit-identity: after SkipTo(target), every counter,
+// histogram, sink emission and piece of architectural state must equal
+// what stepping cycle by cycle from Cycle() to target would have
+// produced. A core unsure of that for its current state must return 0
+// from NextEvent and be stepped naively; skipping is an optimization,
+// never a semantic.
+type FastForwarder interface {
+	Core
+	// NextEvent returns the earliest cycle strictly greater than Cycle()
+	// at which the core's state can change (an MSHR fill, a long-op
+	// completion, a fetch-line delivery, a fault-plan boundary), or 0
+	// when the core cannot prove its current state is a pure stall.
+	NextEvent() uint64
+	// SkipTo advances the clock to target, bulk-crediting the skipped
+	// cycles exactly as naive stepping would. Valid only when NextEvent
+	// returned t with Cycle() < target <= t.
+	SkipTo(target uint64)
+}
+
 // BaseStats is the statistics block common to all core models.
 type BaseStats struct {
 	Cycles  uint64
@@ -169,8 +195,16 @@ type RunConfig struct {
 	LivelockWindow uint64
 	// CheckEvery is the cycle granularity of the context and livelock
 	// checks (0 = a sensible default). Checks are off the per-cycle path;
-	// detection latency is at most one check interval.
+	// detection latency is at most one check interval. Fast-forward jumps
+	// are clamped to check boundaries, so a multi-million-cycle jump
+	// cannot delay a deadline or livelock check: the watchdogs run at
+	// least once per check interval in both simulated cycles and loop
+	// iterations.
 	CheckEvery uint64
+	// DisableFastForward steps the core naively even when it implements
+	// FastForwarder. The differential fuzz uses it to prove skipped and
+	// naive runs are bit-identical.
+	DisableFastForward bool
 }
 
 // Run steps the core until it halts or maxCycles elapse.
@@ -192,24 +226,48 @@ func RunCtx(ctx context.Context, c Core, cfg RunConfig) error {
 		// Keep detection latency within half a window.
 		check = cfg.LivelockWindow/2 + 1
 	}
+	ff, _ := c.(FastForwarder)
+	if cfg.DisableFastForward {
+		ff = nil
+	}
 	lastWork := coreWork(c)
 	lastProgress := c.Cycle()
 	next := c.Cycle() + check
 	for !c.Done() {
-		if cfg.MaxCycles > 0 && c.Cycle() >= cfg.MaxCycles {
-			return fmt.Errorf("%w (%d cycles, %d retired)", ErrCycleLimit, c.Cycle(), c.Retired())
+		cyc := c.Cycle()
+		if cfg.MaxCycles > 0 && cyc >= cfg.MaxCycles {
+			return fmt.Errorf("%w (%d cycles, %d retired)", ErrCycleLimit, cyc, c.Retired())
 		}
-		if c.Cycle() >= next {
-			next = c.Cycle() + check
+		if cyc >= next {
+			next = cyc + check
 			if ctx != nil && ctx.Err() != nil {
-				return fmt.Errorf("%w at cycle %d (%d retired): %v", ErrDeadline, c.Cycle(), c.Retired(), ctx.Err())
+				return fmt.Errorf("%w at cycle %d (%d retired): %v", ErrDeadline, cyc, c.Retired(), ctx.Err())
 			}
 			if w := coreWork(c); w != lastWork {
 				lastWork = w
-				lastProgress = c.Cycle()
-			} else if cfg.LivelockWindow > 0 && c.Cycle()-lastProgress >= cfg.LivelockWindow {
+				lastProgress = cyc
+			} else if cfg.LivelockWindow > 0 && cyc-lastProgress >= cfg.LivelockWindow {
 				return fmt.Errorf("%w: no activity in %d cycles (cycle %d, %d retired)",
-					ErrLivelock, c.Cycle()-lastProgress, c.Cycle(), c.Retired())
+					ErrLivelock, cyc-lastProgress, cyc, c.Retired())
+			}
+		}
+		if ff != nil {
+			if t := ff.NextEvent(); t > cyc {
+				// Pure stall until t: jump there instead of stepping, but
+				// never past a watchdog boundary or the cycle budget, so
+				// every check (and every limit error) fires at the exact
+				// cycle naive stepping would reach it.
+				target := t
+				if target > next {
+					target = next
+				}
+				if cfg.MaxCycles > 0 && target > cfg.MaxCycles {
+					target = cfg.MaxCycles
+				}
+				if target > cyc {
+					ff.SkipTo(target)
+					continue
+				}
 			}
 		}
 		c.Step()

@@ -1,6 +1,7 @@
 package cpu
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"rocksim/internal/isa"
@@ -12,7 +13,8 @@ import (
 // bubbles for taken branches and mispredictions. All core models share
 // it, so frontend behaviour never biases the pipeline comparison.
 type Frontend struct {
-	m *Machine
+	m   *Machine
+	l1i *mem.Cache // this core's L1I, resolved once (fixed at construction)
 
 	pc         uint64
 	stallUntil uint64 // no instruction delivery before this cycle
@@ -21,11 +23,36 @@ type Frontend struct {
 	lineAddr  uint64
 	lineReady uint64
 	haveLine  bool
+
+	// Cached functional-memory page for instruction reads. Sparse pages
+	// are mutated in place and never replaced, so the pointer stays
+	// correct across stores (including stores into this page); it only
+	// needs replacing when fetch crosses a page boundary.
+	page    *[mem.PageSize]byte
+	pageNum uint64
+
+	// Direct-mapped decoded-instruction cache. Decoding is pure, so the
+	// memo is a wall-clock optimization only; each hit revalidates
+	// against the freshly read word, which keeps self-modifying code
+	// correct (the simulated machine has no structural i-cache
+	// coherence to model here — Next always reads architectural memory).
+	memo [decodeMemoSize]decodeMemoEntry
+}
+
+// decodeMemoSize is the number of direct-mapped decode-memo slots.
+// Power of two; indexed by instruction number within the address space.
+const decodeMemoSize = 4096
+
+type decodeMemoEntry struct {
+	pc    uint64
+	word  uint64
+	in    isa.Inst
+	valid bool
 }
 
 // NewFrontend creates a frontend beginning execution at entry.
 func NewFrontend(m *Machine, entry uint64) *Frontend {
-	return &Frontend{m: m, pc: entry}
+	return &Frontend{m: m, l1i: m.Hier.L1I(m.CoreID), pc: entry}
 }
 
 // PC returns the address of the next instruction to deliver.
@@ -58,7 +85,7 @@ func (f *Frontend) Next(now uint64) (in isa.Inst, pc uint64, ok bool, err error)
 	if now < f.stallUntil {
 		return isa.Inst{}, 0, false, nil
 	}
-	line := f.m.Hier.L1I(f.m.CoreID).LineAddr(f.pc)
+	line := f.l1i.LineAddr(f.pc)
 	if !f.haveLine || f.lineAddr != line {
 		res := f.m.Hier.Access(f.m.CoreID, mem.AccFetch, f.pc, now)
 		f.lineAddr = line
@@ -68,10 +95,42 @@ func (f *Frontend) Next(now uint64) (in isa.Inst, pc uint64, ok bool, err error)
 	if now < f.lineReady {
 		return isa.Inst{}, 0, false, nil
 	}
-	w := f.m.Mem.Read(f.pc, isa.InstSize)
+	var w uint64
+	off := f.pc & (mem.PageSize - 1)
+	if pn := f.pc >> mem.PageBits; f.page != nil && pn == f.pageNum && off+isa.InstSize <= mem.PageSize {
+		w = binary.LittleEndian.Uint64(f.page[off:])
+	} else {
+		w = f.m.Mem.Read(f.pc, isa.InstSize)
+		if p := f.m.Mem.PageFor(f.pc); p != nil {
+			f.page, f.pageNum = p, pn
+		}
+	}
+	e := &f.memo[(f.pc/isa.InstSize)%decodeMemoSize]
+	if e.valid && e.pc == f.pc && e.word == w {
+		return e.in, f.pc, true, nil
+	}
 	in, derr := isa.DecodeWord(w)
 	if derr != nil {
 		return in, f.pc, false, fmt.Errorf("cpu: fetch at pc=%#x: %w", f.pc, derr)
 	}
+	*e = decodeMemoEntry{pc: f.pc, word: w, in: in, valid: true}
 	return in, f.pc, true, nil
+}
+
+// NextDelivery returns the earliest cycle strictly after now at which
+// Next's answer can change (0 = it can already deliver, or delivery
+// depends on state not timed here, e.g. a pending line fill for a
+// different line). It is a conservative lower bound used as one of the
+// fast-forward candidates: understating only shortens a jump.
+func (f *Frontend) NextDelivery(now uint64) uint64 {
+	if now < f.stallUntil {
+		// Inside a redirect bubble nothing happens until it ends; the
+		// first post-bubble Next may issue a fetch access, so the bubble
+		// end is a state-change cycle.
+		return f.stallUntil
+	}
+	if f.haveLine && f.lineAddr == f.l1i.LineAddr(f.pc) && now < f.lineReady {
+		return f.lineReady
+	}
+	return 0
 }

@@ -295,6 +295,51 @@ func (in *Injector) PublishObs(r *obs.Registry) {
 	}
 }
 
+// Mutations returns a value that changes whenever any injector state
+// mutates (injection counts, storm-query numbering, one-shot firings).
+// The fast-forward layer snapshots it around a candidate stall cycle: a
+// cycle whose injector queries left a trace is not a pure stall and must
+// never be skipped, since naive stepping would repeat those queries
+// every cycle.
+func (in *Injector) Mutations() uint64 {
+	if in == nil {
+		return 0
+	}
+	var sum uint64
+	for _, c := range in.counts {
+		sum += c
+	}
+	return sum + in.queries
+}
+
+// NextChange returns the earliest cycle strictly after now at which the
+// plan's behavior can change — a window opening or closing, or an
+// unfired one-shot rollback coming due (0 = never). Clock jumps are
+// bounded by it: inside one plan regime a pure stall stays pure, but the
+// cycle a window opens must be re-stepped naively.
+func (in *Injector) NextChange(now uint64) uint64 {
+	if in == nil {
+		return 0
+	}
+	var next uint64
+	bound := func(c uint64) {
+		if c > now && (next == 0 || c < next) {
+			next = c
+		}
+	}
+	for i, e := range in.plan.Events {
+		if e.Kind == Rollback {
+			if !in.fired[i] {
+				bound(e.From)
+			}
+			continue
+		}
+		bound(e.From)
+		bound(e.To)
+	}
+	return next
+}
+
 // DenyCheckpoint reports whether checkpoint allocation must fail at
 // cycle now.
 func (in *Injector) DenyCheckpoint(now uint64) bool {

@@ -93,7 +93,18 @@ type Core struct {
 	stats Stats
 	sink  obs.Sink
 	occ   [2]int
+
+	// Fast-forward state, valid while cycle < ffNext: the last Step was a
+	// pure stall of kind ffStall with ffMLP outstanding data misses, and
+	// no core state can change before cycle ffNext. Self-expiring: once
+	// the clock reaches ffNext (by skip or by interleaved Ticks), NextEvent
+	// reports no skip and the next Step re-derives everything.
+	ffNext  uint64
+	ffStall StallKind
+	ffMLP   int
 }
+
+var _ cpu.FastForwarder = (*Core)(nil)
 
 // inorderOccNames are the occupancy tracks reported through the sink.
 var inorderOccNames = []string{"loads_inflight", "store_buffer"}
@@ -281,13 +292,106 @@ issueLoop:
 	if issued == 0 && stall != StallNone {
 		c.stats.StallCycles[stall]++
 	}
-	c.stats.SampleMLP(c.m.Hier.OutstandingDataMisses(c.m.CoreID, now))
+	outstanding := c.m.Hier.OutstandingDataMisses(c.m.CoreID, now)
+	c.stats.SampleMLP(outstanding)
 	if c.sink != nil {
 		c.occ[0], c.occ[1] = len(c.loadsInFlight), len(c.storeBuf)
 		c.sink.CycleState(now, "normal", issued, 0, c.occ[:])
 	}
 	c.stats.Cycles++
 	c.cycle++
+
+	if issued == 0 && stall != StallNone && !c.done && c.err == nil {
+		// Pure stall: every path that breaks the issue loop without
+		// issuing leaves the core untouched (the only side effect, a
+		// first fetch-line access, is idempotent on retry), so repeating
+		// this Step until the earliest pending timer is pure bookkeeping.
+		c.ffStall = stall
+		c.ffMLP = outstanding
+		c.ffNext = c.nextTimer(now)
+	} else {
+		c.ffNext = 0
+	}
+}
+
+// nextTimer returns the earliest cycle strictly after now at which any
+// of the core's pending completions lands (0 = none pending).
+func (c *Core) nextTimer(now uint64) uint64 {
+	var next uint64
+	bound := func(t uint64) {
+		if t > now && (next == 0 || t < next) {
+			next = t
+		}
+	}
+	bound(c.fe.NextDelivery(now))
+	for _, t := range c.readyAt {
+		bound(t)
+	}
+	for _, t := range c.loadsInFlight {
+		bound(t)
+	}
+	for _, t := range c.storeBuf {
+		bound(t)
+	}
+	bound(c.m.Hier.NextDataFill(c.m.CoreID, now))
+	return next
+}
+
+// NextEvent implements cpu.FastForwarder. It reports the pure-stall
+// horizon recorded by the last Step; once the clock reaches it the
+// answer decays to 0 and the core must be stepped naively.
+func (c *Core) NextEvent() uint64 {
+	if c.ffNext > c.cycle {
+		return c.ffNext
+	}
+	return 0
+}
+
+// SkipTo implements cpu.FastForwarder: it credits cycles
+// [Cycle(), target) exactly as repeating the recorded pure-stall Step
+// would, then advances the clock to target.
+func (c *Core) SkipTo(target uint64) {
+	c.FastForward(target, 1, 0)
+}
+
+// FastForward is SkipTo for a thread interleaved in an SMT pipeline:
+// within [Cycle(), target), cycles with n%stride == phase replicate the
+// recorded pure-stall Step and the rest replicate Tick (the issue slot
+// belongs to the sibling thread, which only lets buffers drain). stride
+// <= 1 makes every cycle a step slot, i.e. plain SkipTo.
+func (c *Core) FastForward(target, stride, phase uint64) {
+	a, b := c.cycle, target
+	if b <= a {
+		return
+	}
+	total := b - a
+	steps := total
+	if stride > 1 {
+		// Count of n in [a, b) with n % stride == phase.
+		f := func(x uint64) uint64 { return (x + stride - 1 - phase%stride) / stride }
+		steps = f(b) - f(a)
+	}
+	c.stats.StallCycles[c.ffStall] += steps
+	if c.ffMLP > 0 {
+		// Step and Tick both sample MLP, so every cycle contributes.
+		c.stats.MLPSamples += total
+		c.stats.MLPSum += uint64(c.ffMLP) * total
+	}
+	if c.sink != nil && steps > 0 {
+		// Only step-slot cycles emit cycle state (Tick is silent), so a
+		// strided run cannot use the contiguous bulk path.
+		c.occ[0], c.occ[1] = len(c.loadsInFlight), len(c.storeBuf)
+		if stride <= 1 {
+			obs.EmitCycleRun(c.sink, a, b, "normal", c.occ[:])
+		} else {
+			n := a + (stride+phase%stride-a%stride)%stride
+			for ; n < b; n += stride {
+				c.sink.CycleState(n, "normal", 0, 0, c.occ[:])
+			}
+		}
+	}
+	c.stats.Cycles += total
+	c.cycle = target
 }
 
 // branch resolves a conditional branch, charging predictor-dependent

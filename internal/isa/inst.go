@@ -74,45 +74,46 @@ func DecodeWord(w uint64) (Inst, error) {
 	return Decode(b[:])
 }
 
+// srcCount maps each opcode to how many of the ordered source slots
+// (rs1, rs2, rd) it reads; SrcRegs is on every core model's issue path,
+// so the per-class switches are folded into one table lookup.
+var srcCount = func() (t [NumOps]uint8) {
+	for op := Op(0); int(op) < NumOps; op++ {
+		switch op.Class() {
+		case ClassALU:
+			switch op {
+			case OpMovi, OpLui:
+			case OpAddi, OpAndi, OpOri, OpXori, OpSlli, OpSrli, OpSrai, OpSlti, OpSltui:
+				t[op] = 1
+			default:
+				t[op] = 2
+			}
+		case ClassLoad, ClassPrefetch:
+			t[op] = 1
+		case ClassStore, ClassBranch:
+			t[op] = 2
+		case ClassJump:
+			if op == OpJalr {
+				t[op] = 1
+			}
+		case ClassAtomic:
+			t[op] = 3
+		}
+	}
+	return t
+}()
+
 // SrcRegs returns the architectural source registers read by the
-// instruction. n is the number of valid entries (0..3). The third source
-// slot is used only by cas (which reads rd as the swap-in value) and by
-// stores (data register rs2 is reported alongside the address rs1).
+// instruction. n is the number of valid entries (0..3); slots beyond n
+// are unspecified. The third source slot is used only by cas (which
+// reads rd as the swap-in value) and by stores (data register rs2 is
+// reported alongside the address rs1).
 func (in Inst) SrcRegs() (srcs [3]uint8, n int) {
-	switch in.Op.Class() {
-	case ClassALU:
-		switch in.Op {
-		case OpMovi, OpLui:
-			return srcs, 0
-		case OpAddi, OpAndi, OpOri, OpXori, OpSlli, OpSrli, OpSrai, OpSlti, OpSltui:
-			srcs[0] = in.Rs1
-			return srcs, 1
-		default:
-			srcs[0], srcs[1] = in.Rs1, in.Rs2
-			return srcs, 2
-		}
-	case ClassLoad, ClassPrefetch:
-		srcs[0] = in.Rs1
-		return srcs, 1
-	case ClassStore:
-		srcs[0], srcs[1] = in.Rs1, in.Rs2
-		return srcs, 2
-	case ClassBranch:
-		srcs[0], srcs[1] = in.Rs1, in.Rs2
-		return srcs, 2
-	case ClassJump:
-		if in.Op == OpJalr {
-			srcs[0] = in.Rs1
-			return srcs, 1
-		}
-		return srcs, 0
-	case ClassAtomic:
-		srcs[0], srcs[1], srcs[2] = in.Rs1, in.Rs2, in.Rd
-		return srcs, 3
-	case ClassTx:
+	if !in.Op.Valid() {
 		return srcs, 0
 	}
-	return srcs, 0
+	srcs[0], srcs[1], srcs[2] = in.Rs1, in.Rs2, in.Rd
+	return srcs, int(srcCount[in.Op])
 }
 
 // DestReg returns the destination register and whether the instruction

@@ -268,6 +268,15 @@ func (h *Hierarchy) OutstandingDataMisses(core int, now uint64) int {
 	return h.cores[core].mshrD.Outstanding(now)
 }
 
+// NextDataFill returns the earliest cycle strictly after now at which
+// one of core's in-flight L1D fills completes (0 = none outstanding).
+// The fast-forward layer bounds clock jumps with it so that MLP samples
+// and outstanding-miss counts observe every fill expiry at the exact
+// cycle naive stepping would.
+func (h *Hierarchy) NextDataFill(core int, now uint64) uint64 {
+	return h.cores[core].mshrD.NextExpiry(now)
+}
+
 // DataMSHRFull reports whether core's L1D MSHR file is fully occupied at
 // cycle now (a new miss would have to stall).
 func (h *Hierarchy) DataMSHRFull(core int, now uint64) bool {

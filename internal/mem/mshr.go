@@ -8,6 +8,10 @@ package mem
 type MSHR struct {
 	cap     int
 	entries []mshrEntry
+	// minReady is the earliest completion among entries (0 when empty);
+	// it lets expire — which runs on every lookup — return without
+	// scanning while no fill has completed yet.
+	minReady uint64
 	// Stats
 	Merges     uint64 // misses absorbed by an in-flight entry
 	FullStalls uint64 // misses delayed because all registers were busy
@@ -32,13 +36,21 @@ func (m *MSHR) Cap() int { return m.cap }
 
 // expire drops entries whose fills have completed.
 func (m *MSHR) expire(now uint64) {
+	if len(m.entries) == 0 || m.minReady > now {
+		return
+	}
 	live := m.entries[:0]
+	var min uint64
 	for _, e := range m.entries {
 		if e.ready > now {
 			live = append(live, e)
+			if min == 0 || e.ready < min {
+				min = e.ready
+			}
 		}
 	}
 	m.entries = live
+	m.minReady = min
 }
 
 // Lookup reports whether a fill for line is already in flight at cycle
@@ -60,6 +72,16 @@ func (m *MSHR) Outstanding(now uint64) int {
 	return len(m.entries)
 }
 
+// NextExpiry returns the earliest cycle strictly after now at which an
+// in-flight fill completes, or 0 when nothing is outstanding. The
+// fast-forward layer uses it to bound clock jumps: an expiring fill can
+// change observable state (outstanding-miss counts, MLP samples) even
+// while the core itself is stalled.
+func (m *MSHR) NextExpiry(now uint64) uint64 {
+	m.expire(now)
+	return m.minReady
+}
+
 // AllocAt returns the earliest cycle at or after now at which a new
 // entry can be allocated. If the file is full, that is the completion
 // time of the soonest-finishing entry (the requesting access stalls
@@ -70,17 +92,14 @@ func (m *MSHR) AllocAt(now uint64) uint64 {
 		return now
 	}
 	m.FullStalls++
-	earliest := m.entries[0].ready
-	for _, e := range m.entries[1:] {
-		if e.ready < earliest {
-			earliest = e.ready
-		}
-	}
-	return earliest
+	return m.minReady
 }
 
 // Add records a new in-flight fill for line completing at ready.
 // The caller must have honoured AllocAt.
 func (m *MSHR) Add(line uint64, ready uint64) {
+	if len(m.entries) == 0 || ready < m.minReady {
+		m.minReady = ready
+	}
 	m.entries = append(m.entries, mshrEntry{line: line, ready: ready})
 }

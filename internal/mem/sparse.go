@@ -14,11 +14,32 @@ const (
 	pageMask = pageSize - 1
 )
 
+// PageBits and PageSize expose the functional memory's page geometry for
+// callers that cache page pointers (see PageFor).
+const (
+	PageBits = pageBits
+	PageSize = pageSize
+)
+
 // Sparse is a paged, zero-initialized functional memory. It implements
 // the isa.Memory interface. Reads of never-written pages return zero
 // without allocating.
 type Sparse struct {
 	pages map[uint64]*[pageSize]byte
+
+	// pcache is a small direct-mapped page-pointer cache in front of the
+	// page map, keeping the map lookup off the per-access path. Pages are
+	// mutated in place and never freed or replaced, so a cached pointer
+	// can never go stale; never-written (absent) pages are simply not
+	// cached, and allocation fills the slot.
+	pcache [pcacheSize]pcacheEntry
+}
+
+const pcacheSize = 64
+
+type pcacheEntry struct {
+	num uint64
+	p   *[pageSize]byte
 }
 
 // NewSparse returns an empty functional memory.
@@ -28,12 +49,29 @@ func NewSparse() *Sparse {
 
 func (m *Sparse) page(addr uint64, alloc bool) *[pageSize]byte {
 	pn := addr >> pageBits
+	e := &m.pcache[pn&(pcacheSize-1)]
+	if e.p != nil && e.num == pn {
+		return e.p
+	}
 	p := m.pages[pn]
-	if p == nil && alloc {
+	if p == nil {
+		if !alloc {
+			return nil
+		}
 		p = new([pageSize]byte)
 		m.pages[pn] = p
 	}
+	e.num, e.p = pn, p
 	return p
+}
+
+// PageFor returns the backing page containing addr, or nil if that page
+// has never been written. Pages are mutated in place and never replaced
+// or freed, so a non-nil pointer stays valid — and live-updated by
+// subsequent Writes — for the lifetime of the memory; hot readers (the
+// fetch stage) cache it to bypass the page map.
+func (m *Sparse) PageFor(addr uint64) *[PageSize]byte {
+	return m.page(addr, false)
 }
 
 // Read returns the unsigned little-endian value of size bytes at addr.

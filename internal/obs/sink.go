@@ -36,6 +36,34 @@ type Sink interface {
 	Span(start, end uint64, cat, name string)
 }
 
+// BulkSink is an optional Sink extension for the fast-forward path: a
+// model that skips a run of identical stalled cycles reports them in one
+// call instead of one CycleState call per cycle. The contract is exact
+// equivalence — CycleRun(start, end, mode, occ) must leave the sink in
+// the state that calling CycleState(n, mode, 0, 0, occ) for every n in
+// [start, end) would. EmitCycleRun falls back to exactly that loop for
+// sinks that do not implement the extension, so bit-identity never
+// depends on a sink opting in.
+type BulkSink interface {
+	CycleRun(start, end uint64, mode string, occ []int)
+}
+
+// EmitCycleRun reports a run of identical zero-progress cycles
+// [start, end) to s, using the BulkSink fast path when s implements it.
+// A nil sink and an empty run are no-ops.
+func EmitCycleRun(s Sink, start, end uint64, mode string, occ []int) {
+	if s == nil || start >= end {
+		return
+	}
+	if bs, ok := s.(BulkSink); ok {
+		bs.CycleRun(start, end, mode, occ)
+		return
+	}
+	for n := start; n < end; n++ {
+		s.CycleState(n, mode, 0, 0, occ)
+	}
+}
+
 // Tee fans one event stream out to several sinks, skipping nils.
 // It returns nil when no non-nil sink remains (so models keep their
 // zero-cost disabled path) and the sink itself when only one remains.
@@ -66,6 +94,15 @@ func (t tee) Attach(model string, occNames []string) {
 func (t tee) CycleState(now uint64, mode string, executed, replayed int, occ []int) {
 	for _, s := range t {
 		s.CycleState(now, mode, executed, replayed, occ)
+	}
+}
+
+// CycleRun implements BulkSink by dispatching per sub-sink, so a tee of
+// a Collector and a legacy probe bulk-credits the former and replays the
+// per-cycle loop only for the latter.
+func (t tee) CycleRun(start, end uint64, mode string, occ []int) {
+	for _, s := range t {
+		EmitCycleRun(s, start, end, mode, occ)
 	}
 }
 
@@ -160,6 +197,45 @@ func (c *Collector) CycleState(now uint64, mode string, executed, replayed int, 
 		}
 		if c.Trace != nil && i < len(c.occNames) {
 			c.Trace.CounterSample(now, c.model+"/"+c.occNames[i], int64(v))
+		}
+	}
+}
+
+// CycleRun implements BulkSink: the whole run shares one mode and one
+// occupancy vector, so the mode-span bookkeeping runs once and only the
+// decimated sample cycles inside [start, end) are materialized. The
+// samples land on exactly the cycles the naive per-cycle loop would
+// pick, leaving nextSample in the identical state.
+func (c *Collector) CycleRun(start, end uint64, mode string, occ []int) {
+	if start >= end {
+		return
+	}
+	c.lastCycle = end - 1
+	if mode != c.lastMode || !c.haveMode {
+		if c.haveMode && c.Trace != nil && c.lastMode != "" {
+			c.Trace.Span(c.modeStart, start, "mode", c.lastMode)
+		}
+		c.lastMode = mode
+		c.modeStart = start
+		c.haveMode = true
+	}
+	step := c.SampleEvery
+	if step == 0 {
+		step = 1 // unattached collector: CycleState samples every cycle
+	}
+	n := c.nextSample
+	if n < start {
+		n = start
+	}
+	for ; n < end; n += step {
+		c.nextSample = n + step
+		for i, v := range occ {
+			if i < len(c.timelines) {
+				c.timelines[i].Sample(n, int64(v))
+			}
+			if c.Trace != nil && i < len(c.occNames) {
+				c.Trace.CounterSample(n, c.model+"/"+c.occNames[i], int64(v))
+			}
 		}
 	}
 }

@@ -6,8 +6,8 @@ import (
 )
 
 // issue selects up to IssueWidth ready instructions among the IQSize
-// oldest unissued entries and executes them.
-func (c *Core) issue(now uint64) {
+// oldest unissued entries and executes them, returning how many issued.
+func (c *Core) issue(now uint64) int {
 	issued := 0
 	examined := 0
 	for i := 0; i < c.count && issued < c.cfg.IssueWidth && examined < c.cfg.IQSize; i++ {
@@ -27,6 +27,7 @@ func (c *Core) issue(now uint64) {
 	if issued == 0 && c.count > 0 {
 		c.stats.EmptyIssueCycles++
 	}
+	return issued
 }
 
 // operand returns the value of source s of entry e if it is available at
@@ -184,9 +185,13 @@ func (c *Core) issueLoad(e *robEntry, idx int, base int64, now uint64) bool {
 	}
 
 	// Compose the value: architectural memory overlaid with older
-	// in-flight stores (program order), byte by byte.
-	buf := make([]byte, size)
-	fromStore := make([]bool, size)
+	// in-flight stores (program order), byte by byte. Fixed-size scratch:
+	// MemWidth is at most 8, and stack arrays keep the hot load path
+	// allocation-free.
+	var bufArr [8]byte
+	var fromArr [8]bool
+	buf := bufArr[:size]
+	fromStore := fromArr[:size]
 	raw := c.m.Mem.Read(addr, size)
 	for i := 0; i < size; i++ {
 		buf[i] = byte(raw >> (8 * i))

@@ -138,7 +138,20 @@ type Core struct {
 	stats Stats
 	sink  obs.Sink
 	occ   [2]int
+
+	// Fast-forward state, valid while cycle < ffNext: the last Step was a
+	// pure stall (nothing committed, issued or fetched) whose per-cycle
+	// stall charges were ffRobFull/ffFetchStall/ffEmptyIssue with ffMLP
+	// outstanding data misses. Self-expiring once the clock reaches
+	// ffNext.
+	ffNext       uint64
+	ffRobFull    uint64
+	ffFetchStall uint64
+	ffEmptyIssue uint64
+	ffMLP        int
 }
+
+var _ cpu.FastForwarder = (*Core)(nil)
 
 // oooOccNames are the occupancy tracks reported through the sink.
 var oooOccNames = []string{"rob", "memops"}
@@ -219,18 +232,86 @@ func (c *Core) entryBySeq(seq uint64) *robEntry {
 func (c *Core) Step() {
 	now := c.cycle
 	retiredBefore := c.stats.Retired
+	seqBefore := c.nextSeq
+	robFull0, fetchStall0, empty0 := c.stats.ROBFullCycles, c.stats.FetchStallCycles, c.stats.EmptyIssueCycles
 	c.commit(now)
+	issued := 0
 	if !c.done && c.err == nil {
-		c.issue(now)
+		issued = c.issue(now)
 		c.fetch(now)
 	}
-	c.stats.SampleMLP(c.m.Hier.OutstandingDataMisses(c.m.CoreID, now))
+	outstanding := c.m.Hier.OutstandingDataMisses(c.m.CoreID, now)
+	c.stats.SampleMLP(outstanding)
 	if c.sink != nil {
 		c.occ[0], c.occ[1] = c.count, c.memOps
 		c.sink.CycleState(now, "normal", int(c.stats.Retired-retiredBefore), 0, c.occ[:])
 	}
 	c.stats.Cycles++
 	c.cycle++
+
+	if c.stats.Retired == retiredBefore && issued == 0 && c.nextSeq == seqBefore && !c.done && c.err == nil {
+		// Pure stall: commit, issue and fetch all made zero progress, so
+		// the only per-cycle effects were the stall charges below — and
+		// they repeat unchanged until the earliest pending timer fires.
+		c.ffRobFull = c.stats.ROBFullCycles - robFull0
+		c.ffFetchStall = c.stats.FetchStallCycles - fetchStall0
+		c.ffEmptyIssue = c.stats.EmptyIssueCycles - empty0
+		c.ffMLP = outstanding
+		c.ffNext = c.nextTimer(now)
+	} else {
+		c.ffNext = 0
+	}
+}
+
+// nextTimer returns the earliest cycle strictly after now at which any
+// pending completion lands: an executed ROB entry's result (which can
+// unblock commit or a dependent issue), a fetch-line delivery, or an
+// in-flight L1D fill expiring (which changes MLP accounting). 0 = no
+// timer pending; a wedged core then falls back to naive stepping and the
+// livelock watchdog.
+func (c *Core) nextTimer(now uint64) uint64 {
+	var next uint64
+	bound := func(t uint64) {
+		if t > now && (next == 0 || t < next) {
+			next = t
+		}
+	}
+	for i := 0; i < c.count; i++ {
+		if e := c.at(i); e.executed {
+			bound(e.readyAt)
+		}
+	}
+	bound(c.fe.NextDelivery(now))
+	bound(c.m.Hier.NextDataFill(c.m.CoreID, now))
+	return next
+}
+
+// NextEvent implements cpu.FastForwarder (see inorder.Core.NextEvent).
+func (c *Core) NextEvent() uint64 {
+	if c.ffNext > c.cycle {
+		return c.ffNext
+	}
+	return 0
+}
+
+// SkipTo implements cpu.FastForwarder: it credits cycles
+// [Cycle(), target) exactly as repeating the recorded pure-stall Step
+// would, then advances the clock to target.
+func (c *Core) SkipTo(target uint64) {
+	n := target - c.cycle
+	c.stats.ROBFullCycles += c.ffRobFull * n
+	c.stats.FetchStallCycles += c.ffFetchStall * n
+	c.stats.EmptyIssueCycles += c.ffEmptyIssue * n
+	if c.ffMLP > 0 {
+		c.stats.MLPSamples += n
+		c.stats.MLPSum += uint64(c.ffMLP) * n
+	}
+	if c.sink != nil {
+		c.occ[0], c.occ[1] = c.count, c.memOps
+		obs.EmitCycleRun(c.sink, c.cycle, target, "normal", c.occ[:])
+	}
+	c.stats.Cycles += n
+	c.cycle = target
 }
 
 // fetch brings up to FetchWidth instructions into the ROB along the

@@ -1,0 +1,314 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"rocksim/internal/asm"
+	"rocksim/internal/bpred"
+	"rocksim/internal/cmp"
+	"rocksim/internal/core"
+	"rocksim/internal/cpu"
+	"rocksim/internal/faults"
+	"rocksim/internal/inorder"
+	"rocksim/internal/mem"
+	"rocksim/internal/obs"
+	"rocksim/internal/smt"
+	"rocksim/internal/workload"
+)
+
+// This file is the fast-forward differential oracle: every observable a
+// run produces — cycle and retire counts, architectural registers, the
+// exported metrics JSON (counters, histograms, occupancy timelines,
+// injector counts) and the Chrome trace bytes (mode spans, events,
+// counter samples, fault firings with their cycles) — must be
+// byte-identical between naive stepping and event-driven stall skipping.
+
+// ffRun executes prog on kind with full observability attached and
+// returns the outcome plus the metrics-JSON and Chrome-trace bytes.
+func ffRun(t *testing.T, k Kind, prog *asm.Program, plan *faults.Plan, noFF bool) (Outcome, []byte, []byte) {
+	t.Helper()
+	opts := fuzzFaultOpts()
+	opts.Faults = plan
+	opts.NoFastForward = noFF
+	opts.Metrics = obs.NewRegistry()
+	tr := obs.NewTrace()
+	col := obs.NewCollector(tr, opts.Metrics)
+	opts.Sink = col
+	out, err := Run(k, prog, opts)
+	if err != nil {
+		t.Fatalf("%v noFF=%v: %v", k, noFF, err)
+	}
+	col.Flush(out.Cycles)
+	var mbuf, tbuf bytes.Buffer
+	if err := opts.Metrics.WriteJSON(&mbuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteChrome(&tbuf); err != nil {
+		t.Fatal(err)
+	}
+	return out, mbuf.Bytes(), tbuf.Bytes()
+}
+
+// firstDiff locates the first byte divergence and returns a short
+// context window around it for the failure message.
+func firstDiff(a, b []byte) string {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	lo := i - 40
+	if lo < 0 {
+		lo = 0
+	}
+	win := func(s []byte) string {
+		hi := i + 40
+		if hi > len(s) {
+			hi = len(s)
+		}
+		if lo > len(s) {
+			return ""
+		}
+		return string(s[lo:hi])
+	}
+	return "at byte " + itoa(i) + ": naive ..." + win(a) + "... vs fast ..." + win(b) + "..."
+}
+
+func checkFFSeed(t *testing.T, k Kind, prog *asm.Program, plan *faults.Plan) {
+	t.Helper()
+	naive, nm, nt := ffRun(t, k, prog, plan, true)
+	fast, fm, ft := ffRun(t, k, prog, plan, false)
+	if naive.Cycles != fast.Cycles || naive.Retired != fast.Retired {
+		t.Errorf("%v: naive %d cycles/%d retired, fast-forward %d cycles/%d retired",
+			k, naive.Cycles, naive.Retired, fast.Cycles, fast.Retired)
+	}
+	if naive.Regs != fast.Regs {
+		t.Errorf("%v: architectural registers diverge under fast-forward", k)
+	}
+	if !bytes.Equal(nm, fm) {
+		t.Errorf("%v: metrics JSON diverges under fast-forward: %s", k, firstDiff(nm, fm))
+	}
+	if !bytes.Equal(nt, ft) {
+		t.Errorf("%v: Chrome trace diverges under fast-forward: %s", k, firstDiff(nt, ft))
+	}
+}
+
+// TestFastForwardDifferentialFuzz: random programs (including
+// transactions), every core kind, no faults.
+func TestFastForwardDifferentialFuzz(t *testing.T) {
+	n := int64(8)
+	if testing.Short() {
+		n = 3
+	}
+	for _, k := range Kinds {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(1); seed <= n; seed++ {
+				prog, err := genProgram(seed, 80)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				checkFFSeed(t, k, prog, nil)
+			}
+		})
+	}
+}
+
+// TestFastForwardFaultDifferential: random programs under random benign
+// fault plans. The injector's firing cycles and counts ride in the trace
+// and metrics bytes, so a skip that jumps over a fault-plan boundary —
+// or fails to replay a per-retry clamp probe — cannot pass.
+func TestFastForwardFaultDifferential(t *testing.T) {
+	n := int64(6)
+	if testing.Short() {
+		n = 2
+	}
+	for _, k := range Kinds {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(1); seed <= n; seed++ {
+				prog, err := genFaultProgram(seed, 70)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				checkFFSeed(t, k, prog, faults.Random(seed, faultHorizon))
+			}
+		})
+	}
+}
+
+// TestFastForwardEngages drives miss-heavy workloads directly and
+// asserts the skip path actually takes jumps: the simulated cycle count
+// must exceed the number of Step calls by a wide margin, or the whole
+// optimization is a silent no-op.
+func TestFastForwardEngages(t *testing.T) {
+	w, err := workload.Build("chase", workload.ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	build := func(name string, mk func(m *cpu.Machine) cpu.FastForwarder) {
+		m := mem.NewSparse()
+		w.Program.Load(m)
+		mach, err := cpu.NewMachine(m, opts.Hier, opts.Pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := mk(mach)
+		steps := uint64(0)
+		for !c.Done() && steps < 50_000_000 {
+			if tgt := c.NextEvent(); tgt > c.Cycle() {
+				c.SkipTo(tgt)
+				continue
+			}
+			c.Step()
+			steps++
+			if err := c.Err(); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		}
+		if !c.Done() {
+			t.Fatalf("%s: did not finish", name)
+		}
+		if c.Cycle() < 2*steps {
+			t.Errorf("%s: fast-forward barely engaged: %d cycles from %d steps", name, c.Cycle(), steps)
+		}
+		t.Logf("%s: %d cycles from %d steps (%.1fx)", name, c.Cycle(), steps, float64(c.Cycle())/float64(steps))
+	}
+	build("inorder", func(m *cpu.Machine) cpu.FastForwarder {
+		return inorder.New(m, opts.InOrder, w.Program.Entry)
+	})
+	build("sst", func(m *cpu.Machine) cpu.FastForwarder {
+		return core.New(m, opts.SST, w.Program.Entry)
+	})
+}
+
+// smtPair builds one SMT physical core running two workloads.
+func smtPair(t *testing.T, wa, wb *workload.Spec, opts Options) *smt.Core {
+	t.Helper()
+	hier, err := mem.NewHierarchy(opts.Hier, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(w *workload.Spec) smt.Thread {
+		m := mem.NewSparse()
+		w.Program.Load(m)
+		mach := &cpu.Machine{Mem: m, Hier: hier, CoreID: 0, Pred: bpred.New(opts.Pred)}
+		return smt.Thread{Core: inorder.New(mach, opts.InOrder, w.Program.Entry), Mach: mach}
+	}
+	c, err := smt.New(mk(wa), mk(wb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestFastForwardSMTDifferential: the SMT interleave skips only when
+// both threads are provably stalled, splitting the credit across issue
+// slots; per-thread statistics must match naive interleaving exactly.
+func TestFastForwardSMTDifferential(t *testing.T) {
+	wa, err := workload.Build("chase", workload.ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb, err := workload.Build("stream", workload.ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	run := func(noFF bool) *smt.Core {
+		c := smtPair(t, wa, wb, opts)
+		if err := cpu.RunCtx(nil, c, cpu.RunConfig{
+			MaxCycles:          opts.CycleLimit(),
+			DisableFastForward: noFF,
+		}); err != nil {
+			t.Fatalf("noFF=%v: %v", noFF, err)
+		}
+		return c
+	}
+	naive, fast := run(true), run(false)
+	if naive.Cycle() != fast.Cycle() {
+		t.Errorf("SMT cycles diverge: naive %d, fast %d", naive.Cycle(), fast.Cycle())
+	}
+	for i := 0; i < 2; i++ {
+		a, b := naive.Thread(i).Core, fast.Thread(i).Core
+		if *a.Base() != *b.Base() {
+			t.Errorf("thread %d base stats diverge:\n naive %+v\n fast  %+v", i, *a.Base(), *b.Base())
+		}
+		if a.Stats().StallCycles != b.Stats().StallCycles {
+			t.Errorf("thread %d stall breakdown diverges:\n naive %v\n fast  %v",
+				i, a.Stats().StallCycles, b.Stats().StallCycles)
+		}
+		if a.Regs() != b.Regs() {
+			t.Errorf("thread %d registers diverge", i)
+		}
+	}
+}
+
+// TestFastForwardCMPDifferential: the lockstep chip jumps only when all
+// alive cores are stalled. Compare a fast-forwarding chip.Run against a
+// hand-rolled naive lockstep over an identically built chip.
+func TestFastForwardCMPDifferential(t *testing.T) {
+	names := []string{"chase", "stream", "oltp"}
+	var progs []*asm.Program
+	for _, n := range names {
+		w, err := workload.Build(n, workload.ScaleTest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		progs = append(progs, w.Program)
+	}
+	opts := DefaultOptions()
+	build := func() *cmp.Chip {
+		chip, err := cmp.NewPrivate(opts.Hier, opts.Pred, progs,
+			func(id int, m *cpu.Machine, entry uint64) (cpu.Core, error) {
+				if id%2 == 0 {
+					return core.New(m, opts.SST, entry), nil
+				}
+				return inorder.New(m, opts.InOrder, entry), nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return chip
+	}
+
+	fastChip := build()
+	if err := fastChip.Run(opts.CycleLimit()); err != nil {
+		t.Fatal(err)
+	}
+	naiveChip := build()
+	for cycle := uint64(0); cycle < opts.CycleLimit(); cycle++ {
+		alive := false
+		for _, c := range naiveChip.Cores {
+			if c.Done() {
+				continue
+			}
+			alive = true
+			c.Step()
+			if err := c.Err(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !alive {
+			break
+		}
+	}
+
+	for i := range naiveChip.Cores {
+		a, b := naiveChip.Cores[i], fastChip.Cores[i]
+		if a.Cycle() != b.Cycle() || a.Retired() != b.Retired() {
+			t.Errorf("core %d: naive %d cycles/%d retired, fast %d cycles/%d retired",
+				i, a.Cycle(), a.Retired(), b.Cycle(), b.Retired())
+		}
+		if *a.Base() != *b.Base() {
+			t.Errorf("core %d base stats diverge:\n naive %+v\n fast  %+v", i, *a.Base(), *b.Base())
+		}
+	}
+}

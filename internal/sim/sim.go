@@ -105,6 +105,12 @@ type Options struct {
 	// Metrics, when non-nil, receives every model's counters at the end
 	// of the run (see PublishObs).
 	Metrics *obs.Registry
+	// NoFastForward steps the core cycle by cycle even when it supports
+	// event-driven stall skipping (see cpu.FastForwarder). Skipping is
+	// bit-identical to naive stepping — the differential fuzz in this
+	// package proves it — so this knob exists for that proof and for
+	// debugging, not for accuracy.
+	NoFastForward bool
 }
 
 // Fingerprint returns a canonical string covering every simulation-
@@ -117,6 +123,9 @@ func (o Options) Fingerprint() string {
 	o.Probe = nil
 	o.Sink = nil
 	o.Metrics = nil
+	// Fast-forwarding changes wall-clock speed, never the outcome, so two
+	// runs differing only in NoFastForward share a cache entry.
+	o.NoFastForward = false
 	// A *faults.Plan would print as a pointer; substitute its canonical
 	// string, which covers every behavior-affecting field.
 	plan := o.Faults.String()
@@ -286,8 +295,9 @@ func RunContext(ctx context.Context, k Kind, prog *asm.Program, opts Options) (O
 		defer cancel()
 	}
 	runErr := cpu.RunCtx(ctx, c, cpu.RunConfig{
-		MaxCycles:      opts.CycleLimit(),
-		LivelockWindow: opts.livelockWindow(),
+		MaxCycles:          opts.CycleLimit(),
+		LivelockWindow:     opts.livelockWindow(),
+		DisableFastForward: opts.NoFastForward,
 	})
 	inj.PublishObs(opts.Metrics)
 	if runErr != nil {

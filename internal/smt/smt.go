@@ -102,4 +102,52 @@ func (c *Core) Base() *cpu.BaseStats {
 // Thread returns one thread context (for per-thread statistics).
 func (c *Core) Thread(i int) Thread { return c.threads[i] }
 
+// NextEvent implements cpu.FastForwarder: the physical core can jump
+// only while every alive thread is provably in a pure stall, to the
+// earliest cycle either one can change. A thread's stall horizon is
+// recorded at its last issue slot and stays valid across the sibling's
+// slots (it self-expires once the clock reaches it), so no extra
+// bookkeeping is needed for the interleave.
+func (c *Core) NextEvent() uint64 {
+	a, b := c.threads[0].Core, c.threads[1].Core
+	switch {
+	case a.Done() && b.Done():
+		return 0
+	case a.Done():
+		return b.NextEvent()
+	case b.Done():
+		return a.NextEvent()
+	}
+	ta, tb := a.NextEvent(), b.NextEvent()
+	if ta == 0 || tb == 0 {
+		return 0
+	}
+	if tb < ta {
+		ta = tb
+	}
+	return ta
+}
+
+// SkipTo implements cpu.FastForwarder. Thread i owns the issue slot on
+// cycles n with n%2 == i, so with both threads alive each replays its
+// recorded stall on its own slots and ages (Tick) on the sibling's;
+// with one thread left every cycle is an issue slot.
+func (c *Core) SkipTo(target uint64) {
+	if target <= c.cycle {
+		return
+	}
+	a, b := c.threads[0].Core, c.threads[1].Core
+	switch {
+	case !a.Done() && !b.Done():
+		a.FastForward(target, 2, 0)
+		b.FastForward(target, 2, 1)
+	case !a.Done():
+		a.FastForward(target, 1, 0)
+	case !b.Done():
+		b.FastForward(target, 1, 0)
+	}
+	c.cycle = target
+}
+
 var _ cpu.Core = (*Core)(nil)
+var _ cpu.FastForwarder = (*Core)(nil)

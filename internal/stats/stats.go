@@ -44,6 +44,27 @@ func (h *Hist) Add(v int) {
 	h.buckets[v]++
 }
 
+// AddN records n identical observations of v, exactly as n Add(v) calls
+// would. Used by the fast-forward path to bulk-credit a run of stalled
+// cycles whose occupancies are constant.
+func (h *Hist) AddN(v int, n uint64) {
+	if n == 0 {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.sum += uint64(v) * n
+	h.n += n
+	if v >= len(h.buckets) {
+		v = len(h.buckets) - 1
+	}
+	h.buckets[v] += n
+}
+
 // Count returns the number of observations.
 func (h *Hist) Count() uint64 { return h.n }
 
