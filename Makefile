@@ -2,14 +2,16 @@
 # (build, vet, tests); tier2 adds the race detector (the experiment
 # harness runs simulations on a worker pool, so -race now guards real
 # concurrency), a parallel-determinism smoke that diffs sstbench -j 4
-# against -j 1, and the fault-fuzz smoke (fixed seeds, bounded
-# wall-clock) of the speculation-invisibility oracle; determinism
-# re-runs the observability tests twice in one process to prove the
-# exports are byte-stable across map-iteration orders.
+# against -j 1, the fault-fuzz smoke (fixed seeds, bounded wall-clock)
+# of the speculation-invisibility oracle, a bounded coverage-guided
+# differential fuzz session (fuzz-short), and the rocksimd service
+# smoke (serve-smoke: load, grid byte-identity, SIGTERM drain);
+# determinism re-runs the observability tests twice in one process to
+# prove the exports are byte-stable across map-iteration orders.
 
 GO ?= go
 
-.PHONY: all tier1 tier2 race smoke-parallel fault-fuzz determinism ci bench-overhead golden bench bench-guard profile
+.PHONY: all tier1 tier2 race smoke-parallel fault-fuzz fuzz-short serve-smoke determinism ci bench-overhead golden bench bench-guard profile
 
 all: tier1
 
@@ -39,7 +41,36 @@ smoke-parallel:
 	diff -u /tmp/sstbench-j1.txt /tmp/sstbench-j4.txt
 	@echo "smoke-parallel: -j 1 and -j 4 output identical"
 
-tier2: race smoke-parallel fault-fuzz bench-guard
+tier2: race smoke-parallel fault-fuzz fuzz-short serve-smoke bench-guard
+
+# Bounded coverage-guided session of the native differential fuzz
+# target (internal/sim FuzzDifferential): the mutator drives the
+# program generator's choice stream, so every input is a valid program
+# diffed emulator-vs-every-core. The seed corpus under
+# internal/sim/testdata/corpus runs in plain `go test` as regressions.
+fuzz-short:
+	$(GO) test ./internal/sim -run '^$$' -fuzz FuzzDifferential -fuzztime 20s
+
+# End-to-end daemon smoke: boot rocksimd, load it with rockload, prove
+# the daemon's /v1/grid output is byte-identical to sstbench, then
+# SIGTERM it and require a clean (exit 0) drain.
+serve-smoke:
+	$(GO) build -o /tmp/rocksimd-smoke ./cmd/rocksimd
+	$(GO) build -o /tmp/rockload-smoke ./cmd/rockload
+	$(GO) build -o /tmp/sstbench-smoke ./cmd/sstbench
+	@set -e; \
+	/tmp/rocksimd-smoke -addr 127.0.0.1:8321 & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true' EXIT; \
+	for i in $$(seq 1 50); do \
+		/tmp/rockload-smoke -addr http://127.0.0.1:8321 -healthz >/dev/null 2>&1 && break; sleep 0.2; \
+	done; \
+	/tmp/rockload-smoke -addr http://127.0.0.1:8321 -n 120 -c 8 -scale test -o /tmp/BENCH_serve_smoke.json; \
+	/tmp/rockload-smoke -addr http://127.0.0.1:8321 -scale test -grid-exps T1,F3,F12 -grid-out /tmp/serve-grid.txt; \
+	/tmp/sstbench-smoke -scale test -j 1 -exp T1,F3,F12 | grep -v 'regenerated in' > /tmp/serve-grid-ref.txt; \
+	diff -u /tmp/serve-grid-ref.txt /tmp/serve-grid.txt; \
+	kill -TERM $$pid; wait $$pid; \
+	trap - EXIT; \
+	echo "serve-smoke: grid byte-identical to sstbench; daemon drained cleanly on SIGTERM"
 
 # Measure simulator throughput (simulated cycles per wall-clock second
 # and allocations per run, every core kind) and record the baseline JSON
@@ -47,11 +78,15 @@ tier2: race smoke-parallel fault-fuzz bench-guard
 # that runs the guard.
 bench:
 	$(GO) run ./cmd/simthroughput -o BENCH_simthroughput.json
+	$(GO) run ./cmd/rockload -self -n 200 -c 8 -scale test -o BENCH_serve.json
 
 # Fail when any kind runs at <80% of the recorded simcycles/s or
-# allocates >120% of the recorded allocs/op; a missing baseline skips.
+# allocates >120% of the recorded allocs/op, or when the service serves
+# <80% of the recorded req/s (p95 >120% + 5ms also fails); a missing
+# baseline skips the corresponding guard.
 bench-guard:
 	$(GO) run ./cmd/simthroughput -check BENCH_simthroughput.json
+	$(GO) run ./cmd/rockload -check BENCH_serve.json
 
 # CPU+heap profile of a test-scale sstbench run, for hot-loop work (see
 # docs/PERFORMANCE.md). Inspect with: go tool pprof cpu.prof

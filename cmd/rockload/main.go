@@ -1,0 +1,300 @@
+// Command rockload load-tests a rocksimd daemon (see docs/SERVICE.md):
+// it fires a deterministic mix of /v1/run cells from N concurrent
+// clients, honours 429 backpressure by retrying after the server's
+// hint, and reports request throughput, latency percentiles and the
+// daemon's cache-hit rate as BENCH_serve.json.
+//
+// Usage:
+//
+//	rockload -self -n 200 -c 8 -o BENCH_serve.json    # in-process daemon
+//	rockload -addr http://127.0.0.1:8321 -n 500 -c 16
+//	rockload -check BENCH_serve.json                  # bench-guard mode
+//	rockload -addr http://host:8321 -healthz          # readiness probe
+//	rockload -addr http://host:8321 -scale test -grid-exps T1,F3 -grid-out grid.txt
+//
+// In -check mode a fresh self-hosted measurement is compared against
+// the recorded baseline: under 80% of the baseline's requests/s, or a
+// p95 latency above 120% of baseline (+5ms slack), fails the guard. A
+// missing baseline file is a skip, not a failure — the numbers are
+// machine-specific; regenerate with `make bench`.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rocksim/internal/experiments"
+	"rocksim/internal/serve"
+	"rocksim/internal/serve/client"
+	"rocksim/internal/sim"
+)
+
+// report is the recorded measurement (the BENCH_serve.json schema).
+type report struct {
+	N           int     `json:"n"`
+	Concurrency int     `json:"concurrency"`
+	Scale       string  `json:"scale"`
+	WallMS      float64 `json:"wall_ms"`
+	RPS         float64 `json:"rps"`
+	P50MS       float64 `json:"p50_ms"`
+	P95MS       float64 `json:"p95_ms"`
+	P99MS       float64 `json:"p99_ms"`
+	Rejected429 int64   `json:"rejected_429"`
+	Errors      int64   `json:"errors"`
+	CacheHitPct float64 `json:"cache_hit_pct"`
+}
+
+// loadWorkloads is the fixed cell mix: every core kind crossed with
+// these workloads, cycled deterministically by request index, so a run
+// of n requests always asks for the same n cells in the same order.
+var loadWorkloads = []string{"chase", "oltp"}
+
+func main() {
+	addr := flag.String("addr", "", "daemon base URL, e.g. http://127.0.0.1:8321 (empty: use -self)")
+	self := flag.Bool("self", false, "serve an in-process daemon on a loopback port and load that")
+	n := flag.Int("n", 200, "total requests")
+	c := flag.Int("c", 8, "concurrent clients")
+	scaleFlag := flag.String("scale", "test", "workload scale for the cell mix: test | full")
+	out := flag.String("o", "", "write the measurement as JSON to this file ('-' = stdout)")
+	check := flag.String("check", "", "compare a fresh -self measurement against this baseline JSON; missing file = skip")
+	healthz := flag.Bool("healthz", false, "probe /healthz and exit")
+	gridExps := flag.String("grid-exps", "", "fetch /v1/grid for these comma-separated experiments instead of load-testing")
+	gridOut := flag.String("grid-out", "-", "write the fetched grid to this file ('-' = stdout)")
+	flag.Parse()
+
+	if *check != "" {
+		runCheck(*check, *n, *c, *scaleFlag)
+		return
+	}
+
+	base := *addr
+	var shutdown func()
+	if base == "" || *self {
+		var err error
+		base, shutdown, err = startSelf(*c)
+		if err != nil {
+			fatal(err)
+		}
+		defer shutdown()
+	}
+	cl := &client.Client{Base: base}
+
+	switch {
+	case *healthz:
+		if err := cl.Healthz(); err != nil {
+			fatal(err)
+		}
+		fmt.Println("ok")
+	case *gridExps != "":
+		grid, err := cl.Grid(serve.GridRequest{Exps: strings.Split(*gridExps, ","), Scale: *scaleFlag})
+		if err != nil {
+			fatal(err)
+		}
+		writeOut(*gridOut, grid)
+	default:
+		rep, err := measure(cl, *n, *c, *scaleFlag)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("rockload: %d reqs x %d clients: %.1f req/s, p50 %.1fms p95 %.1fms p99 %.1fms, %d x 429, %d errors, cache hit %.1f%%\n",
+			rep.N, rep.Concurrency, rep.RPS, rep.P50MS, rep.P95MS, rep.P99MS, rep.Rejected429, rep.Errors, rep.CacheHitPct)
+		if rep.Errors > 0 {
+			fatal(fmt.Errorf("%d requests failed", rep.Errors))
+		}
+		if *out != "" {
+			enc, err := json.MarshalIndent(rep, "", "  ")
+			if err != nil {
+				fatal(err)
+			}
+			writeOut(*out, append(enc, '\n'))
+		}
+	}
+}
+
+// startSelf serves an in-process daemon on an ephemeral loopback port.
+func startSelf(clients int) (base string, shutdown func(), err error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	r := experiments.NewRunner()
+	r.SetJobs(runtime.GOMAXPROCS(0))
+	// Queue deeper than the client count so the self-load measures
+	// throughput, not artificial rejections.
+	srv := serve.New(serve.Config{QueueDepth: 4 * clients}, r)
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln)
+	return "http://" + ln.Addr().String(), func() {
+		srv.StartDrain()
+		hs.Close()
+		srv.Wait()
+	}, nil
+}
+
+// cellFor returns request i's cell in the deterministic mix.
+func cellFor(i int, scale string) serve.RunRequest {
+	kind := sim.Kinds[i%len(sim.Kinds)]
+	wl := loadWorkloads[(i/len(sim.Kinds))%len(loadWorkloads)]
+	return serve.RunRequest{Kind: kind.String(), Workload: wl, Scale: scale}
+}
+
+// measure drives n requests through c concurrent clients and collects
+// the report.
+func measure(cl *client.Client, n, c int, scale string) (report, error) {
+	var rejected, errCount atomic.Int64
+	latencies := make([]time.Duration, n)
+	oks := make([]bool, n)
+	work := make(chan int)
+	var wg sync.WaitGroup
+
+	start := time.Now()
+	for w := 0; w < c; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				req := cellFor(i, scale)
+				t0 := time.Now()
+				ok := false
+				for attempt := 0; attempt < 50; attempt++ {
+					body, err := cl.Run(req)
+					var busy *client.BusyError
+					if errors.As(err, &busy) {
+						rejected.Add(1)
+						time.Sleep(busy.RetryAfter)
+						continue
+					}
+					if err == nil && json.Valid(body) {
+						ok = true
+					}
+					break
+				}
+				latencies[i] = time.Since(t0)
+				oks[i] = ok
+				if !ok {
+					errCount.Add(1)
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	wall := time.Since(start)
+
+	var okLat []float64
+	for i, ok := range oks {
+		if ok {
+			okLat = append(okLat, float64(latencies[i])/float64(time.Millisecond))
+		}
+	}
+	sort.Float64s(okLat)
+	rep := report{
+		N:           n,
+		Concurrency: c,
+		Scale:       scale,
+		WallMS:      float64(wall) / float64(time.Millisecond),
+		RPS:         float64(n) / wall.Seconds(),
+		P50MS:       quantile(okLat, 0.50),
+		P95MS:       quantile(okLat, 0.95),
+		P99MS:       quantile(okLat, 0.99),
+		Rejected429: rejected.Load(),
+		Errors:      errCount.Load(),
+	}
+	m, err := cl.Metrics()
+	if err != nil {
+		return rep, fmt.Errorf("scrape metrics: %w", err)
+	}
+	hits, misses := m["rocksim_serve_cache_hits"], m["rocksim_serve_cache_misses"]
+	if hits+misses > 0 {
+		rep.CacheHitPct = 100 * hits / (hits + misses)
+	}
+	return rep, nil
+}
+
+// quantile reads q from an ascending sample (nearest-rank on the
+// client-side latency list; the daemon's own histograms use stats.Hist).
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted)-1) + 0.5)
+	return sorted[i]
+}
+
+// runCheck is bench-guard mode: self-measure and compare to baseline.
+func runCheck(path string, n, c int, scale string) {
+	base, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		fmt.Printf("rockload: no baseline at %s; skipping guard (run `make bench` to record one)\n", path)
+		return
+	}
+	if err != nil {
+		fatal(err)
+	}
+	var want report
+	if err := json.Unmarshal(base, &want); err != nil {
+		fatal(fmt.Errorf("bad baseline %s: %v", path, err))
+	}
+	if want.N > 0 {
+		n, c = want.N, want.Concurrency
+		scale = want.Scale
+	}
+
+	baseURL, shutdown, err := startSelf(c)
+	if err != nil {
+		fatal(err)
+	}
+	defer shutdown()
+	got, err := measure(&client.Client{Base: baseURL}, n, c, scale)
+	if err != nil {
+		fatal(err)
+	}
+
+	failed := false
+	if got.RPS < 0.8*want.RPS {
+		fmt.Printf("FAIL req/s %.1f < 80%% of baseline %.1f\n", got.RPS, want.RPS)
+		failed = true
+	}
+	if got.P95MS > 1.2*want.P95MS+5 {
+		fmt.Printf("FAIL p95 %.1fms > 120%% of baseline %.1fms (+5ms)\n", got.P95MS, want.P95MS)
+		failed = true
+	}
+	if got.Errors > 0 {
+		fmt.Printf("FAIL %d requests errored\n", got.Errors)
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Printf("ok   serve %.1f req/s (baseline %.1f), p95 %.1fms (baseline %.1fms), cache hit %.1f%%\n",
+		got.RPS, want.RPS, got.P95MS, want.P95MS, got.CacheHitPct)
+}
+
+func writeOut(path string, data []byte) {
+	if path == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rockload:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,77 @@
+// Command rocksimd serves simulations over HTTP (see docs/SERVICE.md):
+// one long-lived daemon hosts the experiments.Runner worker pool and
+// content-addressed run cache, so clients share cached cells across
+// requests instead of paying cold simulator runs.
+//
+// Usage:
+//
+//	rocksimd                          # listen on 127.0.0.1:8321
+//	rocksimd -addr :9000 -j 8         # public port, 8 sim workers
+//	rocksimd -queue 64 -timeout 60s   # deeper queue, per-cell watchdog
+//
+// SIGTERM/SIGINT drain gracefully: the listener stops accepting, new
+// work is refused with 503, and the process exits 0 once every admitted
+// request (including async grids) has finished.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"rocksim/internal/experiments"
+	"rocksim/internal/serve"
+	"rocksim/internal/sim"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8321", "listen address")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "max concurrent simulation runs (worker pool)")
+	queue := flag.Int("queue", serve.DefaultQueueDepth, "admission bound: run/grid requests in flight before 429")
+	retryAfter := flag.Duration("retry-after", serve.DefaultRetryAfter, "Retry-After hint on 429 responses")
+	timeout := flag.Duration("timeout", 0, "wall-clock watchdog applied to every simulation cell (0 = none)")
+	shutdownGrace := flag.Duration("shutdown-grace", 5*time.Minute, "drain deadline for open connections after SIGTERM")
+	flag.Parse()
+
+	r := experiments.NewRunner()
+	r.SetJobs(*jobs)
+	if *timeout > 0 {
+		opts := sim.DefaultOptions()
+		opts.Timeout = *timeout
+		r.SetBaseOptions(opts)
+	}
+	srv := serve.New(serve.Config{QueueDepth: *queue, RetryAfter: *retryAfter}, r)
+	hs := &http.Server{Addr: *addr, Handler: srv}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		log.Print("rocksimd: signal received; draining")
+		srv.StartDrain()
+		shctx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
+		defer cancel()
+		if err := hs.Shutdown(shctx); err != nil {
+			log.Printf("rocksimd: shutdown: %v", err)
+		}
+	}()
+
+	log.Printf("rocksimd: listening on %s (%d workers, queue %d)", *addr, *jobs, *queue)
+	if err := hs.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "rocksimd:", err)
+		os.Exit(1)
+	}
+	// The HTTP listener is closed; wait for admitted work (async grids
+	// included) so a drain never abandons a computation.
+	srv.Wait()
+	hits, misses := r.CacheStats()
+	log.Printf("rocksimd: drained cleanly (cache %d hits / %d misses)", hits, misses)
+}

@@ -189,12 +189,13 @@ type RollbackCause uint8
 
 // Rollback causes.
 const (
-	RbBranch   RollbackCause = iota // deferred branch mispredicted
-	RbJalr                          // deferred indirect target mispredicted
-	RbSSB                           // store buffer overflow during replay
-	RbScout                         // scheduled scout-mode rollback
-	RbMemOrder                      // deferred store conflicted with an ahead load
-	RbInjected                      // spurious rollback forced by a fault plan
+	RbBranch    RollbackCause = iota // deferred branch mispredicted
+	RbJalr                           // deferred indirect target mispredicted
+	RbSSB                            // store buffer overflow during replay
+	RbScout                          // scheduled scout-mode rollback
+	RbMemOrder                       // deferred store conflicted with an ahead load
+	RbInjected                       // spurious rollback forced by a fault plan
+	RbCoherence                      // remote store hit the speculative read set
 	NumRollbackCauses
 )
 
@@ -212,6 +213,8 @@ func (r RollbackCause) String() string {
 		return "mem-order"
 	case RbInjected:
 		return "injected"
+	case RbCoherence:
+		return "coherence"
 	}
 	return "?"
 }
@@ -371,8 +374,17 @@ type Core struct {
 	forceProgressPC uint64
 
 	// Hardware transactional memory state (see htm.go).
-	tx         txState
-	txListener bool
+	tx            txState
+	invalListener bool
+
+	// cohSeq, when non-zero, is the oldest speculative load whose line a
+	// remote store invalidated since the last Step: its value may be
+	// stale (ahead loads capture values at issue, deferred loads at
+	// replay — either can be overtaken by a remote commit), so the epoch
+	// containing it must roll back. Set by the coherence listener during
+	// another core's Step, consumed at the top of ours (see
+	// coherence.go); NextEvent refuses to fast-forward past it.
+	cohSeq uint64
 
 	// sink, when set, observes cycles and events (see probe.go and
 	// internal/obs); occ is its per-cycle scratch buffer.
@@ -441,6 +453,12 @@ func New(m *cpu.Machine, cfg Config, entry uint64) *Core {
 		c.ckpts = make([]checkpoint, 0, cfg.Checkpoints)
 	}
 	c.seq = 1 // seq 0 reserved so lastWriter==0 means "no producer"
+	if m.Coherent {
+		// Shared-memory chip: watch remote stores so speculative loads
+		// that read stale data roll back (and transactions abort on
+		// conflict) — see coherence.go.
+		c.installInvalListener()
+	}
 	c.stats.DQOcc = stats.NewHist(max(cfg.DQSize, 1))
 	c.stats.SSBOcc = stats.NewHist(max(cfg.SSBSize, 1))
 	c.stats.CkptOcc = stats.NewHist(max(cfg.Checkpoints, 1))
@@ -498,6 +516,9 @@ func (c *Core) Step() {
 	c.deliver(now)
 	if c.tx.active && c.tx.abort != 0 {
 		c.txAbort(now)
+	}
+	if c.cohSeq != 0 {
+		c.applyCoherence(now)
 	}
 	if c.flt != nil && c.mode == ModeSpec && !c.tx.active && len(c.ckpts) > 0 &&
 		c.flt.WantSpuriousRollback(now) {

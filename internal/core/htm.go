@@ -52,30 +52,6 @@ func (c *Core) lineAddr(addr uint64) uint64 {
 	return addr &^ (uint64(c.m.Hier.Config().L2.LineBytes) - 1)
 }
 
-// installTxListener hooks remote-store observation for conflict
-// detection. Called lazily at the first txbegin.
-func (c *Core) installTxListener() {
-	if c.txListener {
-		return
-	}
-	c.txListener = true
-	c.m.Hier.SetInvalListener(c.m.CoreID, func(line uint64) {
-		if !c.tx.active || c.tx.abort != 0 {
-			return
-		}
-		if _, ok := c.tx.reads[line]; ok {
-			c.tx.abort = TxAbortConflict
-			return
-		}
-		for _, s := range c.ssb {
-			if c.lineAddr(s.addr) == line {
-				c.tx.abort = TxAbortConflict
-				return
-			}
-		}
-	})
-}
-
 // aheadTx handles txbegin/txcommit on the ahead strand.
 func (c *Core) aheadTx(in isa.Inst, pc uint64, seq uint64, now uint64) (cont, redirected bool) {
 	if c.mode != ModeNormal {
@@ -91,7 +67,7 @@ func (c *Core) aheadTx(in isa.Inst, pc uint64, seq uint64, now uint64) (cont, re
 			c.txAbort(now)
 			return true, true
 		}
-		c.installTxListener()
+		c.installInvalListener()
 		c.tx = txState{
 			active:   true,
 			handler:  in.BranchTarget(pc),

@@ -122,6 +122,14 @@ func (c *Core) nextTimer(now uint64) uint64 {
 // horizon recorded by the last Step; once the clock reaches it the
 // answer decays to 0 and the core must be stepped naively.
 func (c *Core) NextEvent() uint64 {
+	if c.cohSeq != 0 || (c.tx.active && c.tx.abort != 0) {
+		// A remote store scheduled a coherence rollback or transaction
+		// abort after this cycle's purity was established (the listener
+		// fires during another core's Step, possibly after ours recorded
+		// a stall horizon). The repair must run at the very next cycle,
+		// exactly where naive stepping would apply it.
+		return 0
+	}
 	if c.ffNext > c.cycle {
 		return c.ffNext
 	}

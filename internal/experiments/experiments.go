@@ -123,6 +123,16 @@ type Runner struct {
 	cache   map[string]*cacheEntry
 	base    sim.Options
 	hasBase bool
+
+	// hits counts cell requests answered from the cache (including
+	// singleflight sharers that waited on an in-flight compute); misses
+	// counts requests that had to compute. Read via CacheStats.
+	hits, misses uint64
+
+	// computeFn, when non-nil, replaces the compute function for cache
+	// fills. Test seam: the retry/singleflight tests inject counting and
+	// panicking computes without needing a crashing simulator.
+	computeFn func(k sim.Kind, spec *workload.Spec, opts sim.Options) (sim.Outcome, error)
 }
 
 // cacheEntry is one cell of the run cache. The first requester computes
@@ -301,23 +311,54 @@ func (r *Runner) run(k sim.Kind, spec *workload.Spec, opts sim.Options) (sim.Out
 	ck := cacheKey(k, spec, opts)
 	r.mu.Lock()
 	if e, ok := r.cache[ck]; ok {
+		r.hits++
 		r.mu.Unlock()
 		<-e.done
 		return e.out, e.err
 	}
+	r.misses++
+	fn := r.computeFn
 	e := &cacheEntry{done: make(chan struct{})}
 	r.cache[ck] = e
 	r.mu.Unlock()
-	out, err := compute(k, spec, opts)
+	if fn == nil {
+		fn = compute
+	}
+	out, err := fn(k, spec, opts)
 	var pe *PanicError
 	if errors.As(err, &pe) {
 		// One bounded retry on a crash; a deterministic panic fails the
 		// cell for every sharer, with the stack preserved in the error.
-		out, err = compute(k, spec, opts)
+		out, err = fn(k, spec, opts)
 	}
 	e.out, e.err = out, err
 	close(e.done)
 	return out, err
+}
+
+// RunCell runs one (kind, workload, options) cell with the Runner's
+// full machinery: the request takes a worker-pool slot (so concurrent
+// callers respect the SetJobs bound), deduplicates through the
+// content-addressed cache, and recovers a crashing model into an
+// attributed *PanicError with one bounded retry. This is the cell-level
+// entry point the service front-end uses; grids go through Run.
+func (r *Runner) RunCell(k sim.Kind, spec *workload.Spec, opts sim.Options) (sim.Outcome, error) {
+	var out sim.Outcome
+	err := r.forEach(1, func(int) error {
+		o, err := r.run(k, spec, opts)
+		out = o
+		return err
+	})
+	return out, err
+}
+
+// CacheStats reports run-cache traffic since the Runner was created:
+// hits (requests answered from a completed or in-flight cell) and
+// misses (requests that computed).
+func (r *Runner) CacheStats() (hits, misses uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.hits, r.misses
 }
 
 // compute runs one simulation cell, converting a panic inside the model

@@ -1,0 +1,215 @@
+// Package client is the Go client for rocksimd (internal/serve): typed
+// wrappers over the /v1 endpoints plus a Prometheus scrape helper.
+// cmd/rockload drives its load through this package, and external
+// tooling can use it to talk to a long-lived daemon instead of paying
+// simulator start-up per query.
+package client
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"rocksim/internal/serve"
+)
+
+// Client talks to one rocksimd instance.
+type Client struct {
+	// Base is the daemon's root URL, e.g. "http://127.0.0.1:8321".
+	Base string
+	// HTTP overrides the transport; nil uses http.DefaultClient.
+	HTTP *http.Client
+}
+
+// BusyError is a 429 from the daemon's admission control: the queue is
+// full and the caller should retry after the hinted delay.
+type BusyError struct {
+	RetryAfter time.Duration
+}
+
+func (e *BusyError) Error() string {
+	return fmt.Sprintf("server busy; retry after %v", e.RetryAfter)
+}
+
+// StatusError is any other non-2xx response, with the server's decoded
+// error message.
+type StatusError struct {
+	Code    int
+	Message string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("server returned %d: %s", e.Code, e.Message)
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// post sends a JSON body and returns the raw response body for the
+// listed acceptable statuses; other statuses map to BusyError (429) or
+// StatusError.
+func (c *Client) post(path string, req any, okStatus ...int) (int, []byte, error) {
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := c.http().Post(c.Base+path, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, nil, err
+	}
+	for _, s := range okStatus {
+		if resp.StatusCode == s {
+			return resp.StatusCode, body, nil
+		}
+	}
+	return resp.StatusCode, body, responseError(resp, body)
+}
+
+func responseError(resp *http.Response, body []byte) error {
+	if resp.StatusCode == http.StatusTooManyRequests {
+		after := serve.DefaultRetryAfter
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			after = time.Duration(secs) * time.Second
+		}
+		return &BusyError{RetryAfter: after}
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	msg := strings.TrimSpace(string(body))
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		msg = e.Error
+	}
+	return &StatusError{Code: resp.StatusCode, Message: msg}
+}
+
+// Run executes one cell and returns the report JSON exactly as the
+// daemon produced it (byte-identical to `sstsim -json`).
+func (c *Client) Run(req serve.RunRequest) ([]byte, error) {
+	_, body, err := c.post("/v1/run", req, http.StatusOK)
+	return body, err
+}
+
+// Grid regenerates experiments synchronously and returns the text
+// report (byte-identical to sstbench output minus wall-clock lines).
+func (c *Client) Grid(req serve.GridRequest) ([]byte, error) {
+	req.Async = false
+	_, body, err := c.post("/v1/grid", req, http.StatusOK)
+	return body, err
+}
+
+// GridAsync submits a grid for background regeneration and returns the
+// result id to poll with Result.
+func (c *Client) GridAsync(req serve.GridRequest) (string, error) {
+	req.Async = true
+	_, body, err := c.post("/v1/grid", req, http.StatusAccepted)
+	if err != nil {
+		return "", err
+	}
+	var acc serve.AsyncAccepted
+	if err := json.Unmarshal(body, &acc); err != nil {
+		return "", fmt.Errorf("bad 202 body: %v", err)
+	}
+	return acc.ID, nil
+}
+
+// Result polls an async grid: done=false while it is still running,
+// otherwise the finished report text.
+func (c *Client) Result(id string) (done bool, body []byte, err error) {
+	resp, err := c.http().Get(c.Base + "/v1/result/" + id)
+	if err != nil {
+		return false, nil, err
+	}
+	defer resp.Body.Close()
+	body, err = io.ReadAll(resp.Body)
+	if err != nil {
+		return false, nil, err
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return true, body, nil
+	case http.StatusAccepted:
+		return false, nil, nil
+	}
+	return false, nil, responseError(resp, body)
+}
+
+// WaitResult polls Result until the job finishes or the deadline
+// elapses.
+func (c *Client) WaitResult(id string, timeout time.Duration) ([]byte, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		done, body, err := c.Result(id)
+		if err != nil {
+			return nil, err
+		}
+		if done {
+			return body, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("result %s not ready within %v", id, timeout)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// Healthz reports whether the daemon answers and is not draining.
+func (c *Client) Healthz() error {
+	resp, err := c.http().Get(c.Base + "/healthz")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return responseError(resp, body)
+	}
+	return nil
+}
+
+// Metrics scrapes /metrics and returns the plain (unlabelled) samples
+// as a name→value map, e.g. m["rocksim_serve_cache_hits"].
+func (c *Client) Metrics() (map[string]float64, error) {
+	resp, err := c.http().Get(c.Base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, responseError(resp, body)
+	}
+	m := make(map[string]float64)
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") || strings.Contains(line, "{") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			continue
+		}
+		m[fields[0]] = v
+	}
+	return m, nil
+}

@@ -1,0 +1,110 @@
+package client
+
+import (
+	"bytes"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"rocksim/internal/experiments"
+	"rocksim/internal/serve"
+)
+
+func testServer(t *testing.T) (*Client, *experiments.Runner) {
+	t.Helper()
+	r := experiments.NewRunner()
+	r.SetJobs(2)
+	ts := httptest.NewServer(serve.New(serve.Config{}, r))
+	t.Cleanup(ts.Close)
+	return &Client{Base: ts.URL}, r
+}
+
+func TestClientEndToEnd(t *testing.T) {
+	c, r := testServer(t)
+
+	if err := c.Healthz(); err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+
+	report, err := c.Run(serve.RunRequest{Kind: "inorder", Workload: "chase", Scale: "test"})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !bytes.Contains(report, []byte(`"kind": "inorder"`)) {
+		t.Errorf("run report missing kind: %.200s", report)
+	}
+
+	grid, err := c.Grid(serve.GridRequest{Exps: []string{"T1"}, Scale: "test"})
+	if err != nil {
+		t.Fatalf("grid: %v", err)
+	}
+	if !strings.Contains(string(grid), "---- T1:") {
+		t.Errorf("grid output missing T1 header: %.200s", grid)
+	}
+
+	id, err := c.GridAsync(serve.GridRequest{Exps: []string{"T1"}, Scale: "test"})
+	if err != nil {
+		t.Fatalf("grid async: %v", err)
+	}
+	async, err := c.WaitResult(id, 30*time.Second)
+	if err != nil {
+		t.Fatalf("wait result: %v", err)
+	}
+	if !bytes.Equal(async, grid) {
+		t.Errorf("async grid differs from sync grid")
+	}
+
+	m, err := c.Metrics()
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	hits, misses := r.CacheStats()
+	if got := m["rocksim_serve_cache_hits"]; got != float64(hits) {
+		t.Errorf("scraped cache_hits %v, runner says %d", got, hits)
+	}
+	if got := m["rocksim_serve_cache_misses"]; got != float64(misses) {
+		t.Errorf("scraped cache_misses %v, runner says %d", got, misses)
+	}
+	if m["rocksim_serve_run_requests"] < 1 {
+		t.Errorf("scraped run_requests %v, want >= 1", m["rocksim_serve_run_requests"])
+	}
+}
+
+func TestClientErrors(t *testing.T) {
+	c, _ := testServer(t)
+
+	_, err := c.Run(serve.RunRequest{Kind: "vliw", Workload: "chase"})
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusBadRequest {
+		t.Fatalf("bad kind: error %v, want StatusError 400", err)
+	}
+	if !strings.Contains(se.Message, "vliw") {
+		t.Errorf("error message %q does not name the bad kind", se.Message)
+	}
+
+	if _, _, err := c.Result("g424242"); err == nil {
+		t.Error("unknown result id: no error")
+	}
+}
+
+// TestClientBusy decodes 429 + Retry-After into a typed BusyError.
+func TestClientBusy(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "7")
+		w.WriteHeader(http.StatusTooManyRequests)
+		w.Write([]byte(`{"error":"queue full"}`))
+	}))
+	defer ts.Close()
+	c := &Client{Base: ts.URL}
+	_, err := c.Run(serve.RunRequest{Kind: "sst", Workload: "chase"})
+	var be *BusyError
+	if !errors.As(err, &be) {
+		t.Fatalf("error %v, want BusyError", err)
+	}
+	if be.RetryAfter != 7*time.Second {
+		t.Errorf("RetryAfter %v, want 7s", be.RetryAfter)
+	}
+}

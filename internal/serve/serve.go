@@ -1,0 +1,530 @@
+// Package serve is the HTTP front-end of rocksimd: simulation as a
+// service over the shared experiments.Runner. One daemon hosts the
+// content-addressed run cache, so repeated cells across clients —
+// CI shards regenerating overlapping figures, developers probing one
+// configuration — deduplicate onto single simulations exactly as they
+// do inside one sstbench process.
+//
+// The API surfaces the two existing CLI shapes byte-for-byte:
+//
+//	POST /v1/run     one (kind, workload, options) cell; the response
+//	                 body is identical to `sstsim -json` for that cell.
+//	POST /v1/grid    one or more experiments; the body is identical to
+//	                 `sstbench` output minus its wall-clock lines.
+//	                 {"async": true} returns 202 with a result id.
+//	GET  /v1/result/{id}   poll an async grid (202 running, 200 done).
+//	GET  /metrics    Prometheus text (service counters + run metrics).
+//	GET  /healthz    liveness; 503 once draining.
+//
+// Backpressure is admission-controlled: at most Config.QueueDepth run
+// and grid requests may be in flight (executing on the Runner's worker
+// pool or queued for it); beyond that the service answers 429 with a
+// Retry-After hint instead of building an unbounded backlog. StartDrain
+// flips the service into lame-duck mode — new work is refused with 503,
+// in-flight and queued async work runs to completion — and Wait blocks
+// until the last admitted request finishes, which is how rocksimd turns
+// SIGTERM into a loss-free shutdown.
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rocksim/internal/cpu"
+	"rocksim/internal/experiments"
+	"rocksim/internal/faults"
+	"rocksim/internal/obs"
+	"rocksim/internal/sim"
+	"rocksim/internal/workload"
+)
+
+// Defaults for Config zero values.
+const (
+	DefaultQueueDepth = 32
+	DefaultRetryAfter = time.Second
+	// maxFinishedJobs bounds retained async results; the oldest finished
+	// results are evicted first, running jobs are never evicted.
+	maxFinishedJobs = 64
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// QueueDepth is the admission bound: the maximum number of run/grid
+	// requests in flight at once (executing or queued). 0 means
+	// DefaultQueueDepth.
+	QueueDepth int
+	// RetryAfter is the hint returned with 429 responses. 0 means
+	// DefaultRetryAfter.
+	RetryAfter time.Duration
+}
+
+// runner is the slice of *experiments.Runner the service consumes.
+// It is an interface so the backpressure and drain tests can inject a
+// blocking fake; production code always passes the real Runner.
+type runner interface {
+	RunCell(k sim.Kind, spec *workload.Spec, opts sim.Options) (sim.Outcome, error)
+	Run(id string, scale workload.Scale) (*experiments.Result, error)
+	BaseOptions() sim.Options
+	CacheStats() (hits, misses uint64)
+}
+
+// Server is the rocksimd HTTP handler.
+type Server struct {
+	cfg Config
+	run runner
+	reg *obs.Registry
+	mux *http.ServeMux
+
+	// sem is the admission semaphore: one slot per admitted heavy
+	// request. Acquisition is non-blocking — a full channel is a 429,
+	// never a queued connection.
+	sem      chan struct{}
+	draining atomic.Bool
+	// wg tracks admitted work, including async grid goroutines that
+	// outlive their HTTP request; Wait returns when it drains.
+	wg sync.WaitGroup
+
+	mu     sync.Mutex
+	jobs   map[string]*gridJob
+	order  []string // job ids, oldest first, for bounded retention
+	nextID uint64
+}
+
+// gridJob is one async grid computation.
+type gridJob struct {
+	done   chan struct{}
+	status int
+	body   []byte
+}
+
+// New builds a Server over the real experiments Runner.
+func New(cfg Config, r *experiments.Runner) *Server {
+	return newServer(cfg, r)
+}
+
+func newServer(cfg Config, r runner) *Server {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = DefaultRetryAfter
+	}
+	s := &Server{
+		cfg:  cfg,
+		run:  r,
+		reg:  obs.NewRegistry(),
+		mux:  http.NewServeMux(),
+		sem:  make(chan struct{}, cfg.QueueDepth),
+		jobs: make(map[string]*gridJob),
+	}
+	s.mux.HandleFunc("POST /v1/run", s.handleRun)
+	s.mux.HandleFunc("POST /v1/grid", s.handleGrid)
+	s.mux.HandleFunc("GET /v1/result/{id}", s.handleResult)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// StartDrain puts the service in lame-duck mode: subsequent run/grid
+// requests are refused with 503 while already-admitted work (including
+// async grids) runs to completion.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// Draining reports whether StartDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Wait blocks until every admitted request has finished. Call after
+// StartDrain (and after http.Server.Shutdown) for a loss-free stop.
+func (s *Server) Wait() { s.wg.Wait() }
+
+// RunRequest is the body of POST /v1/run.
+type RunRequest struct {
+	Kind     string      `json:"kind"`     // core model, e.g. "sst" (sim.KindByName)
+	Workload string      `json:"workload"` // built-in workload name
+	Scale    string      `json:"scale,omitempty"`
+	Options  *RunOptions `json:"options,omitempty"`
+}
+
+// RunOptions mirrors the sstsim override flags. Pointer fields
+// distinguish "absent" from a zero override, matching the CLI's
+// sentinel of -1.
+type RunOptions struct {
+	DQ        *int   `json:"dq,omitempty"`
+	Ckpt      *int   `json:"ckpt,omitempty"`
+	SSB       *int   `json:"ssb,omitempty"`
+	MemLat    *int   `json:"memlat,omitempty"`
+	MaxCycles uint64 `json:"max_cycles,omitempty"`
+	Timeout   string `json:"timeout,omitempty"` // Go duration, e.g. "30s"
+	Faults    string `json:"faults,omitempty"`  // faults.Parse syntax or "random:SEED"
+}
+
+// GridRequest is the body of POST /v1/grid.
+type GridRequest struct {
+	Exps  []string `json:"exps,omitempty"` // experiment ids; empty = all
+	Scale string   `json:"scale,omitempty"`
+	Async bool     `json:"async,omitempty"`
+}
+
+// AsyncAccepted is the 202 body of an async grid submission.
+type AsyncAccepted struct {
+	ID     string `json:"id"`
+	Result string `json:"result"` // poll URL
+}
+
+// parseScale maps the wire scale to workload.Scale; "" defaults to full
+// like the CLIs.
+func parseScale(s string) (workload.Scale, error) {
+	switch s {
+	case "", "full":
+		return workload.ScaleFull, nil
+	case "test":
+		return workload.ScaleTest, nil
+	}
+	return 0, fmt.Errorf("bad scale %q (want test or full)", s)
+}
+
+// buildOptions applies a request's overrides to the runner's base
+// options, exactly as sstsim maps its flags.
+func (s *Server) buildOptions(ro *RunOptions) (sim.Options, error) {
+	opts := s.run.BaseOptions()
+	if ro == nil {
+		return opts, nil
+	}
+	if ro.DQ != nil {
+		opts.SST.DQSize = *ro.DQ
+	}
+	if ro.Ckpt != nil {
+		opts.SST.Checkpoints = *ro.Ckpt
+	}
+	if ro.SSB != nil {
+		opts.SST.SSBSize = *ro.SSB
+	}
+	if ro.MemLat != nil && *ro.MemLat > 0 {
+		opts.Hier.DRAM.Latency = *ro.MemLat
+	}
+	if ro.MaxCycles > 0 {
+		opts.MaxCycles = ro.MaxCycles
+	}
+	if ro.Timeout != "" {
+		d, err := time.ParseDuration(ro.Timeout)
+		if err != nil {
+			return opts, fmt.Errorf("bad timeout: %v", err)
+		}
+		opts.Timeout = d
+	}
+	if ro.Faults != "" {
+		plan, err := parseFaults(ro.Faults)
+		if err != nil {
+			return opts, err
+		}
+		opts.Faults = plan
+	}
+	return opts, nil
+}
+
+// parseFaults accepts the same forms as the sstsim -faults flag.
+func parseFaults(spec string) (*faults.Plan, error) {
+	if rest, ok := strings.CutPrefix(spec, "random:"); ok {
+		seed, err := strconv.ParseInt(rest, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad random faults seed %q: %v", rest, err)
+		}
+		return faults.Random(seed, 1_000_000), nil
+	}
+	return faults.Parse(spec)
+}
+
+// admit takes an admission slot, or explains over HTTP why it could
+// not. The caller must release() exactly when ok.
+func (s *Server) admit(w http.ResponseWriter) (release func(), ok bool) {
+	if s.draining.Load() {
+		s.reg.Counter("serve/rejected_draining").Inc()
+		httpError(w, http.StatusServiceUnavailable, "draining: not accepting new work")
+		return nil, false
+	}
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		s.reg.Counter("serve/rejected_busy").Inc()
+		secs := int((s.cfg.RetryAfter + time.Second - 1) / time.Second)
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		httpError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("queue full (%d in flight); retry after %ds", s.cfg.QueueDepth, secs))
+		return nil, false
+	}
+	s.wg.Add(1)
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			<-s.sem
+			s.wg.Done()
+		})
+	}, true
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	s.reg.Counter("serve/run_requests").Inc()
+	release, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	defer release()
+
+	var req RunRequest
+	if err := decodeJSON(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	kind, err := sim.KindByName(req.Kind)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	scale, err := parseScale(req.Scale)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	spec, err := workload.Build(req.Workload, scale)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	opts, err := s.buildOptions(req.Options)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	// Fresh per-cell registry, exactly like sstsim -json: the report's
+	// metrics block comes from the run itself. On a cache hit the cached
+	// outcome carries the registry of the original compute — same
+	// deterministic contents, so hit and miss responses are identical.
+	reg := obs.NewRegistry()
+	opts.Metrics = reg
+
+	out, err := s.run.RunCell(kind, spec, opts)
+	if err != nil {
+		s.reg.Counter("serve/run_errors").Inc()
+		code := http.StatusInternalServerError
+		if errors.Is(err, cpu.ErrDeadline) {
+			code = http.StatusGatewayTimeout
+		}
+		httpError(w, code, err.Error())
+		return
+	}
+	var buf bytes.Buffer
+	if err := sim.NewReport(out).WriteJSON(&buf); err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	s.reg.Counter("serve/cells_served").Inc()
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(buf.Bytes())
+}
+
+func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
+	s.reg.Counter("serve/grid_requests").Inc()
+	release, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	// Released inline on the sync path, by the worker on the async path.
+	var req GridRequest
+	if err := decodeJSON(r, &req); err != nil {
+		release()
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ids := req.Exps
+	if len(ids) == 0 {
+		ids = experiments.All
+	}
+	for _, id := range ids {
+		if !knownExperiment(id) {
+			release()
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("unknown experiment %q", id))
+			return
+		}
+	}
+	scale, err := parseScale(req.Scale)
+	if err != nil {
+		release()
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	if req.Async {
+		job, id := s.newJob()
+		go func() {
+			defer release()
+			status, body := s.computeGrid(ids, scale)
+			s.finishJob(id, job, status, body)
+		}()
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(AsyncAccepted{ID: id, Result: "/v1/result/" + id})
+		return
+	}
+
+	defer release()
+	status, body := s.computeGrid(ids, scale)
+	if status != http.StatusOK {
+		httpError(w, status, string(body))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write(body)
+}
+
+// computeGrid regenerates the listed experiments in order. The success
+// body is byte-identical to `sstbench -exp <ids>` with the wall-clock
+// "(… regenerated in …)" lines removed: each result rendered by
+// Result.Fprint followed by the blank separator line.
+func (s *Server) computeGrid(ids []string, scale workload.Scale) (status int, body []byte) {
+	var buf bytes.Buffer
+	for _, id := range ids {
+		res, err := s.run.Run(id, scale)
+		if err != nil {
+			s.reg.Counter("serve/grid_errors").Inc()
+			if errors.Is(err, cpu.ErrDeadline) {
+				return http.StatusGatewayTimeout, []byte(err.Error())
+			}
+			return http.StatusInternalServerError, []byte(err.Error())
+		}
+		res.Fprint(&buf)
+		fmt.Fprintln(&buf)
+	}
+	s.reg.Counter("serve/grids_served").Inc()
+	return http.StatusOK, buf.Bytes()
+}
+
+func knownExperiment(id string) bool {
+	for _, k := range experiments.All {
+		if k == id {
+			return true
+		}
+	}
+	return false
+}
+
+// newJob registers a fresh async job and returns it with its id.
+func (s *Server) newJob() (*gridJob, string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	id := fmt.Sprintf("g%06d", s.nextID)
+	job := &gridJob{done: make(chan struct{})}
+	s.jobs[id] = job
+	s.order = append(s.order, id)
+	return job, id
+}
+
+// finishJob publishes an async result and evicts the oldest finished
+// results beyond the retention bound.
+func (s *Server) finishJob(id string, job *gridJob, status int, body []byte) {
+	s.mu.Lock()
+	job.status, job.body = status, body
+	finished := 0
+	for _, jid := range s.order {
+		if j := s.jobs[jid]; j != nil && (j == job || isDone(j)) {
+			finished++
+		}
+	}
+	for i := 0; i < len(s.order) && finished > maxFinishedJobs; {
+		jid := s.order[i]
+		j := s.jobs[jid]
+		if j != nil && j != job && isDone(j) {
+			delete(s.jobs, jid)
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			finished--
+			continue
+		}
+		i++
+	}
+	s.mu.Unlock()
+	close(job.done)
+}
+
+func isDone(j *gridJob) bool {
+	select {
+	case <-j.done:
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	job := s.jobs[id]
+	s.mu.Unlock()
+	if job == nil {
+		httpError(w, http.StatusNotFound, fmt.Sprintf("unknown result id %q", id))
+		return
+	}
+	if !isDone(job) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(map[string]string{"state": "running"})
+		return
+	}
+	if job.status != http.StatusOK {
+		httpError(w, job.status, string(job.body))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write(job.body)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	hits, misses := s.run.CacheStats()
+	s.reg.Counter("serve/cache_hits").Set(hits)
+	s.reg.Counter("serve/cache_misses").Set(misses)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	if err := s.reg.WriteProm(w); err != nil {
+		// Headers are gone; nothing more to do than note it.
+		s.reg.Counter("serve/metrics_errors").Inc()
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]any{"ok": false, "draining": true})
+		return
+	}
+	json.NewEncoder(w).Encode(map[string]any{"ok": true, "draining": false})
+}
+
+// decodeJSON reads a request body strictly: unknown fields are errors,
+// so a typo'd option never silently runs a default simulation.
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %v", err)
+	}
+	return nil
+}
+
+// httpError writes a JSON error body with the given status.
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

@@ -1,0 +1,390 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rocksim/internal/cpu"
+	"rocksim/internal/experiments"
+	"rocksim/internal/obs"
+	"rocksim/internal/sim"
+	"rocksim/internal/workload"
+)
+
+// postJSON sends body to path and returns the response.
+func postJSON(t *testing.T, base, path, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(base+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("POST %s: read body: %v", path, err)
+	}
+	return resp, data
+}
+
+func get(t *testing.T, base, path string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(base + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", path, err)
+	}
+	return resp, data
+}
+
+// TestRunByteIdentity proves the core service contract: a /v1/run
+// response is byte-for-byte what `sstsim -json` prints for the same
+// cell, and a repeat request (a cache hit) returns the same bytes.
+func TestRunByteIdentity(t *testing.T) {
+	r := experiments.NewRunner()
+	r.SetJobs(2)
+	ts := httptest.NewServer(New(Config{}, r))
+	defer ts.Close()
+
+	req := `{"kind":"sst","workload":"chase","scale":"test"}`
+	resp, got := postJSON(t, ts.URL, "/v1/run", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run: status %d: %s", resp.StatusCode, got)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("run: Content-Type %q", ct)
+	}
+
+	// Reference: exactly what cmd/sstsim does under -json.
+	spec, err := workload.Build("chase", workload.ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := sim.DefaultOptions()
+	opts.Metrics = obs.NewRegistry()
+	out, err := sim.Run(sim.KindSST, spec.Program, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := sim.NewReport(out).WriteJSON(&want); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Fatalf("run response differs from sstsim -json bytes:\ngot  %d bytes\nwant %d bytes\ngot:  %.200s\nwant: %.200s",
+			len(got), want.Len(), got, want.Bytes())
+	}
+
+	_, again := postJSON(t, ts.URL, "/v1/run", req)
+	if !bytes.Equal(again, got) {
+		t.Fatal("second (cached) run response differs from the first")
+	}
+	hits, misses := r.CacheStats()
+	if misses != 1 || hits != 1 {
+		t.Errorf("cache stats hits=%d misses=%d, want 1/1", hits, misses)
+	}
+}
+
+// TestRunTimeoutPropagation: a request-level wall-clock timeout reaches
+// the simulation watchdog and surfaces as 504.
+func TestRunTimeoutPropagation(t *testing.T) {
+	r := experiments.NewRunner()
+	ts := httptest.NewServer(New(Config{}, r))
+	defer ts.Close()
+
+	req := `{"kind":"sst","workload":"chase","scale":"test","options":{"timeout":"1ns"}}`
+	resp, body := postJSON(t, ts.URL, "/v1/run", req)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504; body: %s", resp.StatusCode, body)
+	}
+	var e map[string]string
+	if err := json.Unmarshal(body, &e); err != nil || !strings.Contains(e["error"], "deadline") {
+		t.Fatalf("error body %s does not name the deadline", body)
+	}
+}
+
+// TestRunValidation covers the 4xx surface.
+func TestRunValidation(t *testing.T) {
+	r := experiments.NewRunner()
+	ts := httptest.NewServer(New(Config{}, r))
+	defer ts.Close()
+
+	for _, tc := range []struct {
+		name, body string
+	}{
+		{"bad kind", `{"kind":"vliw","workload":"chase"}`},
+		{"bad workload", `{"kind":"sst","workload":"nope"}`},
+		{"bad scale", `{"kind":"sst","workload":"chase","scale":"huge"}`},
+		{"unknown field", `{"kind":"sst","workload":"chase","slacle":"test"}`},
+		{"bad faults", `{"kind":"sst","workload":"chase","options":{"faults":"wat@@"}}`},
+		{"bad timeout", `{"kind":"sst","workload":"chase","options":{"timeout":"soon"}}`},
+	} {
+		resp, body := postJSON(t, ts.URL, "/v1/run", tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (body %s)", tc.name, resp.StatusCode, body)
+		}
+	}
+
+	resp, _ := get(t, ts.URL, "/v1/run")
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/run: status %d, want 405", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL, "/v1/grid", `{"exps":["F99"]}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown experiment: status %d, want 400", resp.StatusCode)
+	}
+	resp, _ = get(t, ts.URL, "/v1/result/g999999")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown result: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// gridRef regenerates ids on a fresh serial Runner, rendering exactly
+// what `sstbench -j 1` prints minus its wall-clock lines.
+func gridRef(t *testing.T, ids []string, scale workload.Scale) []byte {
+	t.Helper()
+	r := experiments.NewRunner()
+	r.SetJobs(1)
+	var want bytes.Buffer
+	for _, id := range ids {
+		res, err := r.Run(id, scale)
+		if err != nil {
+			t.Fatalf("reference %s: %v", id, err)
+		}
+		res.Fprint(&want)
+		fmt.Fprintln(&want)
+	}
+	return want.Bytes()
+}
+
+// TestGridByteIdentity: a /v1/grid response matches the serial sstbench
+// reference byte for byte, concurrency and caching notwithstanding.
+func TestGridByteIdentity(t *testing.T) {
+	ids := []string{"T1", "F3"}
+	r := experiments.NewRunner()
+	r.SetJobs(4)
+	ts := httptest.NewServer(New(Config{}, r))
+	defer ts.Close()
+
+	resp, got := postJSON(t, ts.URL, "/v1/grid", `{"exps":["T1","F3"],"scale":"test"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("grid: status %d: %s", resp.StatusCode, got)
+	}
+	want := gridRef(t, ids, workload.ScaleTest)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("grid response differs from serial sstbench reference:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestGridAsync: the async path accepts immediately, reports running,
+// and serves the same bytes as the sync path once done.
+func TestGridAsync(t *testing.T) {
+	r := experiments.NewRunner()
+	ts := httptest.NewServer(New(Config{}, r))
+	defer ts.Close()
+
+	resp, body := postJSON(t, ts.URL, "/v1/grid", `{"exps":["T1"],"scale":"test","async":true}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async grid: status %d: %s", resp.StatusCode, body)
+	}
+	var acc AsyncAccepted
+	if err := json.Unmarshal(body, &acc); err != nil || acc.ID == "" {
+		t.Fatalf("async grid: bad 202 body %s", body)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	var got []byte
+	for {
+		resp, b := get(t, ts.URL, acc.Result)
+		if resp.StatusCode == http.StatusOK {
+			got = b
+			break
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("poll: status %d: %s", resp.StatusCode, b)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("async grid did not finish in 30s")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	want := gridRef(t, []string{"T1"}, workload.ScaleTest)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("async grid result differs from reference:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// fakeRunner blocks every computation until release is closed, so the
+// backpressure and drain tests control exactly how many requests are in
+// flight. started receives one signal per computation begun.
+type fakeRunner struct {
+	started chan struct{}
+	release chan struct{}
+	cellErr error
+}
+
+func (f *fakeRunner) RunCell(k sim.Kind, spec *workload.Spec, opts sim.Options) (sim.Outcome, error) {
+	f.started <- struct{}{}
+	<-f.release
+	return sim.Outcome{}, f.cellErr
+}
+
+func (f *fakeRunner) Run(id string, scale workload.Scale) (*experiments.Result, error) {
+	f.started <- struct{}{}
+	<-f.release
+	return &experiments.Result{ID: id, Title: "fake"}, nil
+}
+
+func (f *fakeRunner) BaseOptions() sim.Options     { return sim.DefaultOptions() }
+func (f *fakeRunner) CacheStats() (uint64, uint64) { return 0, 0 }
+
+// TestBackpressure fills the admission queue and proves the next
+// request is refused with 429 and a Retry-After hint rather than
+// queueing without bound — and that the admitted requests complete.
+func TestBackpressure(t *testing.T) {
+	fake := &fakeRunner{started: make(chan struct{}, 8), release: make(chan struct{})}
+	s := newServer(Config{QueueDepth: 2, RetryAfter: 3 * time.Second}, fake)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	codes := make([]int, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, _ := postJSON(t, ts.URL, "/v1/grid", `{"exps":["T1"]}`)
+			codes[i] = resp.StatusCode
+		}(i)
+	}
+	// Both admitted requests are inside the fake before we overflow.
+	<-fake.started
+	<-fake.started
+
+	resp, body := postJSON(t, ts.URL, "/v1/grid", `{"exps":["T1"]}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow request: status %d, want 429 (body %s)", resp.StatusCode, body)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "3" {
+		t.Errorf("Retry-After %q, want \"3\"", ra)
+	}
+
+	close(fake.release)
+	wg.Wait()
+	for i, c := range codes {
+		if c != http.StatusOK {
+			t.Errorf("admitted request %d: status %d, want 200", i, c)
+		}
+	}
+}
+
+// TestDrain: StartDrain refuses new work with 503 while the in-flight
+// async grid runs to completion, Wait blocks until it has, and the
+// result remains retrievable afterwards.
+func TestDrain(t *testing.T) {
+	fake := &fakeRunner{started: make(chan struct{}, 8), release: make(chan struct{})}
+	s := newServer(Config{}, fake)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	resp, body := postJSON(t, ts.URL, "/v1/grid", `{"exps":["T1"],"async":true}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async grid: status %d: %s", resp.StatusCode, body)
+	}
+	var acc AsyncAccepted
+	if err := json.Unmarshal(body, &acc); err != nil {
+		t.Fatal(err)
+	}
+	<-fake.started
+
+	s.StartDrain()
+	resp, _ = postJSON(t, ts.URL, "/v1/grid", `{"exps":["T1"]}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("grid while draining: status %d, want 503", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL, "/v1/run", `{"kind":"sst","workload":"chase"}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("run while draining: status %d, want 503", resp.StatusCode)
+	}
+	resp, _ = get(t, ts.URL, "/healthz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("healthz while draining: status %d, want 503", resp.StatusCode)
+	}
+	// The queued job is still running, not dropped.
+	resp, _ = get(t, ts.URL, acc.Result)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Errorf("poll while draining: status %d, want 202", resp.StatusCode)
+	}
+
+	close(fake.release)
+	done := make(chan struct{})
+	go func() { s.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Wait did not return after the in-flight job finished")
+	}
+	resp, got := get(t, ts.URL, acc.Result)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result after drain: status %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(got), "---- T1: fake ----") {
+		t.Errorf("drained result body %q missing the fake grid", got)
+	}
+}
+
+// TestRunDeadlineMapsTo504 uses the runner seam to pin the error
+// mapping without a wall-clock dependency.
+func TestRunDeadlineMapsTo504(t *testing.T) {
+	fake := &fakeRunner{
+		started: make(chan struct{}, 1),
+		release: make(chan struct{}),
+		cellErr: fmt.Errorf("cell: %w", cpu.ErrDeadline),
+	}
+	close(fake.release)
+	ts := httptest.NewServer(newServer(Config{}, fake))
+	defer ts.Close()
+	resp, _ := postJSON(t, ts.URL, "/v1/run", `{"kind":"sst","workload":"chase"}`)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504", resp.StatusCode)
+	}
+}
+
+// TestMetricsAndHealth: /metrics exposes service counters and cache
+// stats in Prometheus text form; /healthz is green while serving.
+func TestMetricsAndHealth(t *testing.T) {
+	r := experiments.NewRunner()
+	ts := httptest.NewServer(New(Config{}, r))
+	defer ts.Close()
+
+	resp, body := get(t, ts.URL, "/healthz")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"ok":true`) {
+		t.Fatalf("healthz: status %d body %s", resp.StatusCode, body)
+	}
+
+	postJSON(t, ts.URL, "/v1/run", `{"kind":"inorder","workload":"chase","scale":"test"}`)
+	resp, body = get(t, ts.URL, "/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: status %d", resp.StatusCode)
+	}
+	for _, want := range []string{
+		"rocksim_serve_run_requests 1",
+		"rocksim_serve_cells_served 1",
+		"rocksim_serve_cache_misses 1",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}
