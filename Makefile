@@ -11,7 +11,7 @@
 
 GO ?= go
 
-.PHONY: all tier1 tier2 race smoke-parallel fault-fuzz fuzz-short serve-smoke determinism ci bench-overhead golden bench bench-guard profile
+.PHONY: all tier1 tier2 race smoke-parallel fault-fuzz fuzz-short serve-smoke trace-smoke determinism ci bench-overhead golden bench bench-guard profile
 
 all: tier1
 
@@ -41,7 +41,7 @@ smoke-parallel:
 	diff -u /tmp/sstbench-j1.txt /tmp/sstbench-j4.txt
 	@echo "smoke-parallel: -j 1 and -j 4 output identical"
 
-tier2: race smoke-parallel fault-fuzz fuzz-short serve-smoke bench-guard
+tier2: race smoke-parallel fault-fuzz fuzz-short serve-smoke trace-smoke bench-guard
 
 # Bounded coverage-guided session of the native differential fuzz
 # target (internal/sim FuzzDifferential): the mutator drives the
@@ -71,6 +71,21 @@ serve-smoke:
 	kill -TERM $$pid; wait $$pid; \
 	trap - EXIT; \
 	echo "serve-smoke: grid byte-identical to sstbench; daemon drained cleanly on SIGTERM"
+
+# Tracing and cycle-accounting smoke on real tool output (the unit
+# tests cover the libraries; this covers what the binaries write):
+# run a traced single cell and a traced small grid, lint the Chrome
+# trace JSON (parses; every span has ts/dur/pid/tid), and check the
+# cpi_stack sum invariant on the emitted report.
+trace-smoke:
+	$(GO) build -o /tmp/sstsim-trace ./cmd/sstsim
+	$(GO) build -o /tmp/sstbench-trace ./cmd/sstbench
+	$(GO) build -o /tmp/tracelint ./cmd/tracelint
+	/tmp/sstsim-trace -core sst -workload chase -scale test -json -trace /tmp/trace-run.json > /tmp/trace-report.json
+	/tmp/sstbench-trace -scale test -j 2 -exp T1,F3 -trace /tmp/trace-grid.json > /dev/null
+	/tmp/tracelint -trace /tmp/trace-run.json -report /tmp/trace-report.json
+	/tmp/tracelint -trace /tmp/trace-grid.json
+	@echo "trace-smoke: traces render-valid; cpi_stack sums to cycles"
 
 # Measure simulator throughput (simulated cycles per wall-clock second
 # and allocations per run, every core kind) and record the baseline JSON

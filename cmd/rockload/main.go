@@ -41,6 +41,8 @@ import (
 )
 
 // report is the recorded measurement (the BENCH_serve.json schema).
+// The ttfb/compute/retry-wait keys were added later; old baselines
+// without them still unmarshal, and the guard never reads them.
 type report struct {
 	N           int     `json:"n"`
 	Concurrency int     `json:"concurrency"`
@@ -50,9 +52,19 @@ type report struct {
 	P50MS       float64 `json:"p50_ms"`
 	P95MS       float64 `json:"p95_ms"`
 	P99MS       float64 `json:"p99_ms"`
-	Rejected429 int64   `json:"rejected_429"`
-	Errors      int64   `json:"errors"`
-	CacheHitPct float64 `json:"cache_hit_pct"`
+	// TTFB percentiles: client-side time to response headers, per
+	// successful final attempt (excludes 429 retry sleeps).
+	TTFBP50MS float64 `json:"ttfb_p50_ms"`
+	TTFBP95MS float64 `json:"ttfb_p95_ms"`
+	// Compute percentiles: the daemon's X-Compute-Us per request —
+	// near zero on cache hits, so the spread shows the hit/miss split.
+	ComputeP50MS float64 `json:"compute_p50_ms"`
+	ComputeP95MS float64 `json:"compute_p95_ms"`
+	// RetryWaitTotalMS sums every 429 Retry-After sleep across the run.
+	RetryWaitTotalMS float64 `json:"retry_wait_total_ms"`
+	Rejected429      int64   `json:"rejected_429"`
+	Errors           int64   `json:"errors"`
+	CacheHitPct      float64 `json:"cache_hit_pct"`
 }
 
 // loadWorkloads is the fixed cell mix: every core kind crossed with
@@ -109,6 +121,8 @@ func main() {
 		}
 		fmt.Printf("rockload: %d reqs x %d clients: %.1f req/s, p50 %.1fms p95 %.1fms p99 %.1fms, %d x 429, %d errors, cache hit %.1f%%\n",
 			rep.N, rep.Concurrency, rep.RPS, rep.P50MS, rep.P95MS, rep.P99MS, rep.Rejected429, rep.Errors, rep.CacheHitPct)
+		fmt.Printf("rockload: ttfb p50 %.1fms p95 %.1fms, server compute p50 %.1fms p95 %.1fms, 429 retry wait %.0fms total\n",
+			rep.TTFBP50MS, rep.TTFBP95MS, rep.ComputeP50MS, rep.ComputeP95MS, rep.RetryWaitTotalMS)
 		if rep.Errors > 0 {
 			fatal(fmt.Errorf("%d requests failed", rep.Errors))
 		}
@@ -153,7 +167,10 @@ func cellFor(i int, scale string) serve.RunRequest {
 // the report.
 func measure(cl *client.Client, n, c int, scale string) (report, error) {
 	var rejected, errCount atomic.Int64
+	var retryWait atomic.Int64 // summed 429 Retry-After sleeps, in ns
 	latencies := make([]time.Duration, n)
+	ttfbs := make([]time.Duration, n)
+	computes := make([]time.Duration, n)
 	oks := make([]bool, n)
 	work := make(chan int)
 	var wg sync.WaitGroup
@@ -168,15 +185,18 @@ func measure(cl *client.Client, n, c int, scale string) (report, error) {
 				t0 := time.Now()
 				ok := false
 				for attempt := 0; attempt < 50; attempt++ {
-					body, err := cl.Run(req)
+					res, err := cl.RunDetail(req)
 					var busy *client.BusyError
 					if errors.As(err, &busy) {
 						rejected.Add(1)
+						retryWait.Add(int64(busy.RetryAfter))
 						time.Sleep(busy.RetryAfter)
 						continue
 					}
-					if err == nil && json.Valid(body) {
+					if err == nil && json.Valid(res.Body) {
 						ok = true
+						ttfbs[i] = res.TTFB
+						computes[i] = res.Compute
 					}
 					break
 				}
@@ -195,24 +215,33 @@ func measure(cl *client.Client, n, c int, scale string) (report, error) {
 	wg.Wait()
 	wall := time.Since(start)
 
-	var okLat []float64
+	var okLat, okTTFB, okCompute []float64
 	for i, ok := range oks {
 		if ok {
 			okLat = append(okLat, float64(latencies[i])/float64(time.Millisecond))
+			okTTFB = append(okTTFB, float64(ttfbs[i])/float64(time.Millisecond))
+			okCompute = append(okCompute, float64(computes[i])/float64(time.Millisecond))
 		}
 	}
 	sort.Float64s(okLat)
+	sort.Float64s(okTTFB)
+	sort.Float64s(okCompute)
 	rep := report{
-		N:           n,
-		Concurrency: c,
-		Scale:       scale,
-		WallMS:      float64(wall) / float64(time.Millisecond),
-		RPS:         float64(n) / wall.Seconds(),
-		P50MS:       quantile(okLat, 0.50),
-		P95MS:       quantile(okLat, 0.95),
-		P99MS:       quantile(okLat, 0.99),
-		Rejected429: rejected.Load(),
-		Errors:      errCount.Load(),
+		N:                n,
+		Concurrency:      c,
+		Scale:            scale,
+		WallMS:           float64(wall) / float64(time.Millisecond),
+		RPS:              float64(n) / wall.Seconds(),
+		P50MS:            quantile(okLat, 0.50),
+		P95MS:            quantile(okLat, 0.95),
+		P99MS:            quantile(okLat, 0.99),
+		TTFBP50MS:        quantile(okTTFB, 0.50),
+		TTFBP95MS:        quantile(okTTFB, 0.95),
+		ComputeP50MS:     quantile(okCompute, 0.50),
+		ComputeP95MS:     quantile(okCompute, 0.95),
+		RetryWaitTotalMS: float64(retryWait.Load()) / float64(time.Millisecond),
+		Rejected429:      rejected.Load(),
+		Errors:           errCount.Load(),
 	}
 	m, err := cl.Metrics()
 	if err != nil {

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -38,6 +39,7 @@ func main() {
 	chart := flag.Bool("chart", false, "also render each figure as ASCII bar charts")
 	metricsOut := flag.String("metrics", "", "write per-experiment wall-clock and row counters as flat JSON ('-' = stdout)")
 	chromeOut := flag.String("chrome-trace", "", "write a Chrome trace_event JSON of per-experiment wall-clock spans (ts = µs since start)")
+	traceOut := flag.String("trace", "", "write request-scoped spans (grid root + one child per experiment, Chrome JSON) to this file")
 	faultsFlag := flag.String("faults", "", "deterministic fault plan applied to every grid cell (faults.Parse syntax; see docs/ROBUSTNESS.md)")
 	timeout := flag.Duration("timeout", 0, "wall-clock watchdog per simulation cell (e.g. 30s; 0 = none); a tripped cell renders as ERR(deadline)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
@@ -119,11 +121,25 @@ func main() {
 	if *chromeOut != "" {
 		tr = obs.NewTrace()
 	}
+	// -trace is the span-tree view of the same grid: a root span with
+	// one child per experiment, in the exact format GET /v1/trace/{id}
+	// serves for a traced daemon request.
+	ctx := context.Background()
+	var tracer *obs.Tracer
+	var gridSpan *obs.Span
+	if *traceOut != "" {
+		tracer = obs.NewTracer()
+		ctx = obs.WithTracer(ctx, tracer)
+		ctx, gridSpan = obs.StartSpan(ctx, "grid")
+	}
 	t0 := time.Now()
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
 		start := time.Now()
+		_, es := obs.StartSpan(ctx, "experiment")
+		es.SetAttr("id", id)
 		res, err := r.Run(id, scale)
+		es.End()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sstbench: %s: %v\n", id, err)
 			os.Exit(1)
@@ -152,6 +168,10 @@ func main() {
 	}
 	if tr != nil {
 		writeOut(*chromeOut, tr.WriteChrome)
+	}
+	if tracer != nil {
+		gridSpan.End()
+		writeOut(*traceOut, tracer.WriteChrome)
 	}
 }
 

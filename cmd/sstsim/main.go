@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -20,6 +21,7 @@ import (
 
 	"rocksim/internal/asm"
 	"rocksim/internal/core"
+	"rocksim/internal/cpu"
 	"rocksim/internal/faults"
 	"rocksim/internal/inorder"
 	"rocksim/internal/obs"
@@ -45,6 +47,7 @@ func main() {
 	metricsOut := flag.String("metrics", "", "write run metrics as flat JSON to this file ('-' = stdout)")
 	promOut := flag.String("prom", "", "write run metrics in Prometheus text format to this file")
 	chromeOut := flag.String("chrome-trace", "", "write a Chrome trace_event JSON file (chrome://tracing, Perfetto)")
+	traceOut := flag.String("trace", "", "write request-scoped wall-clock spans (one sim-run span per run, Chrome JSON) to this file")
 	sampleEvery := flag.Uint64("sample-every", obs.DefaultSampleEvery, "cycles between occupancy samples in timelines and trace counter tracks")
 	list := flag.Bool("list", false, "list workloads and core kinds, then exit")
 	flag.Parse()
@@ -134,6 +137,16 @@ func main() {
 	multi := len(specs)*len(kinds) > 1
 	wantMetrics := *metricsOut != "" || *promOut != "" || *jsonOut
 	allMetrics := make(map[string]*obs.Registry)
+	// -trace observes the runs in the wall-clock domain: every run
+	// becomes a root sim-run span (kind/program/cycles attrs) in one
+	// Chrome trace. It rides the same context plumbing as the service's
+	// request tracing and never affects the simulated outcome.
+	runCtx := context.Background()
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer()
+		runCtx = obs.WithTracer(runCtx, tracer)
+	}
 	for _, w := range specs {
 		for _, kind := range kinds {
 			ropts := opts
@@ -150,7 +163,7 @@ func main() {
 				col.SampleEvery = *sampleEvery
 				ropts.Sink = col
 			}
-			out, err := sim.Run(kind, w.Program, ropts)
+			out, err := sim.RunContext(runCtx, kind, w.Program, ropts)
 			if err != nil {
 				fatal(err)
 			}
@@ -178,6 +191,13 @@ func main() {
 	}
 	if *promOut != "" {
 		writeMetricsProm(*promOut, allMetrics)
+	}
+	if tracer != nil {
+		f := create(*traceOut)
+		if err := tracer.WriteChrome(f); err != nil {
+			fatal(err)
+		}
+		closeOut(f)
 	}
 }
 
@@ -273,6 +293,13 @@ func report(w *workload.Spec, out sim.Outcome) {
 	l1 := out.Mach.Hier.L1D(0).Stats
 	l2 := out.Mach.Hier.L2().Stats
 	fmt.Printf("L1D miss%%     %.2f   L2 miss%% %.2f\n", 100*l1.MissRate(), 100*l2.MissRate())
+	fmt.Printf("cpi stack     ")
+	for bk := cpu.Bucket(0); bk < cpu.NumBuckets; bk++ {
+		if b.CPI[bk] > 0 {
+			fmt.Printf("%s %.1f%%  ", bk, stats.Pct(b.CPI[bk], b.Cycles))
+		}
+	}
+	fmt.Printf("(top loss %s)\n", sim.TopLoss(b))
 
 	switch c := out.Core.(type) {
 	case *core.Core:

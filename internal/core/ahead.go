@@ -16,6 +16,7 @@ func (c *Core) ahead(now uint64, budget int) int {
 	executed := 0
 	for executed < budget && !c.done {
 		if c.fe.Stalled(now) {
+			c.feStall = true
 			break
 		}
 		in, pc, ok, err := c.fe.Next(now)
@@ -23,12 +24,14 @@ func (c *Core) ahead(now uint64, budget int) int {
 			if c.mode != ModeNormal {
 				// Possible wrong-path garbage beyond a deferred branch
 				// prediction: stall; a rollback will redirect fetch.
+				c.feStall = true
 				break
 			}
 			c.err = err
 			return executed
 		}
 		if !ok {
+			c.feStall = true
 			break
 		}
 		cont, redirected := c.aheadInst(in, pc, now)

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"rocksim/internal/cpu"
 	"rocksim/internal/mem"
 )
 
@@ -28,6 +29,7 @@ func (c *Core) takeCheckpoint(pc uint64) bool {
 		readyAt:    c.readyAt,
 		ghr:        c.m.Pred.History(),
 		processed:  c.processed,
+		cpi:        c.stats.CPI,
 	}
 	c.ckpts = append(c.ckpts, ck)
 	c.stats.CheckpointsTaken++
@@ -160,6 +162,18 @@ func (c *Core) rollback(idx int, now uint64, cause RollbackCause) {
 	c.m.Pred.SetHistory(ck.ghr)
 	c.stats.DiscardedInsts += c.processed - ck.processed
 	c.processed = ck.processed
+	// Re-attribute the cycle-accounting stack: every cycle since this
+	// checkpoint was taken was spent on (or alongside) work the rollback
+	// just discarded, so it moves from the bucket it was first counted in
+	// to the rollback cause's bucket. The total is conserved, keeping the
+	// sum-equals-cycles invariant; attribution of cycles shared with
+	// older, still-live epochs is deliberately charged to the failure.
+	var moved uint64
+	for b := range ck.cpi {
+		moved += c.stats.CPI[b] - ck.cpi[b]
+	}
+	c.stats.CPI = ck.cpi
+	c.stats.CPI[cpu.BktRollback0+cpu.Bucket(cause)] += moved
 	for i := idx; i < len(c.ckpts); i++ {
 		c.stats.CkptLife.Add(int(now - c.ckpts[i].takenAt))
 		if c.sink != nil {

@@ -265,6 +265,12 @@ type checkpoint struct {
 	readyAt    [isa.NumRegs]uint64
 	ghr        uint64 // branch-history snapshot
 	processed  uint64 // architectural instruction count at checkpoint
+
+	// cpi snapshots the cycle-accounting stack at checkpoint take, so a
+	// rollback can re-attribute every cycle spent since to the rollback's
+	// cause bucket ("cycles discarded"). CPI only grows between take and
+	// rollback, so the re-attribution delta is exact.
+	cpi [cpu.NumBuckets]uint64
 }
 
 // dqEntry is one deferred instruction with its captured operands.
@@ -415,6 +421,11 @@ type Core struct {
 	quiet   bool
 	snapBuf stepSnap
 
+	// feStall records that the ahead strand broke on the frontend this
+	// Step (redirect bubble, line fill, or wrong-path garbage), for the
+	// CPI-stack attribution of stall cycles. Reset at Step entry.
+	feStall bool
+
 	// Fast-forward state, valid while cycle < ffNext: the last Step was a
 	// pure stall classified as ffKind with the recorded per-cycle stall
 	// and MLP contributions, and nothing can change before ffNext (see
@@ -422,6 +433,7 @@ type Core struct {
 	// reports no skip and the next Step re-derives everything.
 	ffNext     uint64
 	ffKind     CycleKind
+	ffBucket   cpu.Bucket
 	ffDQStall  uint64
 	ffSSBStall uint64
 	ffAtStall  uint64
@@ -508,6 +520,8 @@ func (c *Core) SetFaults(in *faults.Injector) { c.flt = in }
 func (c *Core) Step() {
 	now := c.cycle
 	c.ffNext = 0
+	c.feStall = false
+	dq0, ssb0, at0 := c.stats.DQFullStallCycles, c.stats.SSBFullStallCycles, c.stats.AtomicStallCycles
 	checkStall := c.quiet
 	if checkStall {
 		c.snapInto(&c.snapBuf)
@@ -567,6 +581,8 @@ func (c *Core) Step() {
 	}
 	outstanding := c.m.Hier.OutstandingDataMisses(c.m.CoreID, now)
 	c.stats.SampleMLP(outstanding)
+	bucket := c.classifyBucket(executed, replayed, dq0, ssb0, at0, outstanding)
+	c.stats.CPI[bucket]++
 	c.stats.DQOcc.Add(len(c.dq))
 	c.stats.SSBOcc.Add(len(c.ssb))
 	c.stats.CkptOcc.Add(len(c.ckpts))
@@ -574,7 +590,35 @@ func (c *Core) Step() {
 	c.cycle++
 	c.quiet = executed == 0 && replayed == 0 && !c.done
 	if checkStall {
-		c.noteStall(&c.snapBuf, executed, replayed, kind, outstanding, now)
+		c.noteStall(&c.snapBuf, executed, replayed, kind, bucket, outstanding, now)
+	}
+}
+
+// classifyBucket attributes the cycle for the CPI stack. Any strand
+// progress — architectural, speculative or scout — counts as retire;
+// cycles of work later squashed are re-attributed to the rollback's
+// cause when it happens (see rollback). A stall cycle is named by the
+// structural counter it bumped this Step, then by the memory system,
+// then by the frontend, defaulting to a scoreboard (dependency) wait.
+// Every input is held constant across a fast-forward window, so SkipTo
+// replays the same attribution in bulk.
+func (c *Core) classifyBucket(executed, replayed int, dq0, ssb0, at0 uint64, outstanding int) cpu.Bucket {
+	if executed > 0 || replayed > 0 {
+		return cpu.BktRetire
+	}
+	switch {
+	case c.stats.DQFullStallCycles > dq0:
+		return cpu.BktDQFull
+	case c.stats.SSBFullStallCycles > ssb0:
+		return cpu.BktSSBFull
+	case c.stats.AtomicStallCycles > at0:
+		return cpu.BktAtomic
+	case outstanding > 0:
+		return cpu.BktMSHR
+	case c.feStall:
+		return cpu.BktFetch
+	default:
+		return cpu.BktScoreboard
 	}
 }
 

@@ -1,0 +1,24 @@
+package core
+
+import (
+	"testing"
+
+	"rocksim/internal/cpu"
+)
+
+// TestRollbackBucketMapping pins the contract rollback() relies on: the
+// cycle-accounting rollback buckets mirror RollbackCause order exactly,
+// so BktRollback0+Bucket(cause) addresses the right bucket, and the
+// exported names agree with the cause names.
+func TestRollbackBucketMapping(t *testing.T) {
+	if got := cpu.BktRollback0 + cpu.Bucket(NumRollbackCauses); got != cpu.NumBuckets {
+		t.Fatalf("rollback buckets don't close the enum: BktRollback0+NumRollbackCauses = %d, NumBuckets = %d",
+			got, cpu.NumBuckets)
+	}
+	for cause := RollbackCause(0); cause < NumRollbackCauses; cause++ {
+		b := cpu.BktRollback0 + cpu.Bucket(cause)
+		if want := "rollback/" + cause.String(); b.String() != want {
+			t.Errorf("cause %d: bucket name %q, want %q", cause, b.String(), want)
+		}
+	}
+}

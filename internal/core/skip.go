@@ -68,7 +68,7 @@ func (c *Core) snapInto(s *stepSnap) {
 // noteStall runs at the end of Step: if the cycle was a replicable pure
 // stall it records the per-cycle credit deltas and the skip horizon,
 // otherwise it leaves fast-forwarding disabled.
-func (c *Core) noteStall(s *stepSnap, executed, replayed int, kind CycleKind, outstanding int, now uint64) {
+func (c *Core) noteStall(s *stepSnap, executed, replayed int, kind CycleKind, bucket cpu.Bucket, outstanding int, now uint64) {
 	if executed != 0 || replayed != 0 || c.done || c.err != nil ||
 		c.seq != s.seq || c.mode != s.mode || len(c.pend) != s.pendLen ||
 		c.stats.Rollbacks != s.rollbacks || c.stats.EpochCommits != s.commits ||
@@ -79,6 +79,7 @@ func (c *Core) noteStall(s *stepSnap, executed, replayed int, kind CycleKind, ou
 		return
 	}
 	c.ffKind = kind
+	c.ffBucket = bucket
 	c.ffDQStall = c.stats.DQFullStallCycles - s.dqStall
 	c.ffSSBStall = c.stats.SSBFullStallCycles - s.ssbStall
 	c.ffAtStall = c.stats.AtomicStallCycles - s.atStall
@@ -145,6 +146,7 @@ func (c *Core) SkipTo(target uint64) {
 	}
 	n := target - c.cycle
 	c.stats.ModeCycles[c.ffKind] += n
+	c.stats.CPI[c.ffBucket] += n
 	c.stats.DQFullStallCycles += c.ffDQStall * n
 	c.stats.SSBFullStallCycles += c.ffSSBStall * n
 	c.stats.AtomicStallCycles += c.ffAtStall * n

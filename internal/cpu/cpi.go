@@ -1,0 +1,115 @@
+package cpu
+
+import "rocksim/internal/obs"
+
+// This file defines the cycle-accounting ("CPI stack") bucket taxonomy
+// shared by every core model. Each simulated cycle is attributed to
+// exactly one bucket: the model either retired/executed work, or it can
+// name the stall family that blocked it, or — for the SST core — the
+// cycle was later discarded by a rollback and is re-attributed to that
+// rollback's cause. The invariant, enforced by internal/sim's tests, is
+//
+//	sum(CPI[b] for all b except BktSMTIdle) == Cycles
+//
+// for every model on every workload, fault plan or not, fast-forwarded
+// or stepped naively. BktSMTIdle is excluded because it is the sibling
+// thread's view of a physical cycle that the issuing thread already
+// attributed (per-thread, sum over all buckets == thread cycles).
+
+// Bucket is one cycle-accounting category.
+type Bucket uint8
+
+// Cycle-accounting buckets. The rollback buckets mirror
+// core.RollbackCause order exactly (asserted by a test in that package):
+// BktRollback0+Bucket(cause) is the bucket for a given cause.
+const (
+	// BktRetire is a cycle in which the core made forward progress:
+	// retired, issued, or executed speculative work that later committed.
+	BktRetire Bucket = iota
+	// BktFetch is a frontend stall: redirect bubble, I-cache line fill,
+	// or an empty fetch buffer.
+	BktFetch
+	// BktScoreboard is a dependency stall on a short-latency producer
+	// (stall-on-use, an unready issue window, or SST serialization that
+	// is not attributable to a structural resource).
+	BktScoreboard
+	// BktMSHR is a stall with at least one data miss outstanding: the
+	// core is waiting on the memory system.
+	BktMSHR
+	// BktStoreBuf is a store-buffer-full (or drain-wait) stall.
+	BktStoreBuf
+	// BktDQFull is an SST deferred-queue-full stall.
+	BktDQFull
+	// BktSSBFull is an SST speculative-store-buffer-full stall.
+	BktSSBFull
+	// BktAtomic is an SST serialization stall (atomic/barrier/tx waiting
+	// for all epochs to commit).
+	BktAtomic
+	// BktSMTIdle is a physical cycle whose issue slot belonged to the
+	// sibling hardware thread (SMT interleave only).
+	BktSMTIdle
+
+	// Rollback buckets: cycles of work discarded by a rollback of each
+	// cause, re-attributed from the buckets they were first counted in.
+	BktRbBranch
+	BktRbJalr
+	BktRbSSB
+	BktRbScout
+	BktRbMemOrder
+	BktRbInjected
+	BktRbCoherence
+
+	NumBuckets
+)
+
+// BktRollback0 is the first rollback bucket; add a core.RollbackCause to
+// index the bucket for that cause.
+const BktRollback0 = BktRbBranch
+
+// bucketNames label buckets in exports (index = Bucket). The slash forms
+// group naturally in Prometheus/metric listings.
+var bucketNames = [NumBuckets]string{
+	"retire",
+	"stall/fetch",
+	"stall/scoreboard",
+	"stall/mshr",
+	"stall/store_buffer",
+	"stall/dq_full",
+	"stall/ssb_full",
+	"stall/atomic",
+	"smt_idle",
+	"rollback/branch",
+	"rollback/jalr",
+	"rollback/ssb-overflow",
+	"rollback/scout",
+	"rollback/mem-order",
+	"rollback/injected",
+	"rollback/coherence",
+}
+
+func (b Bucket) String() string {
+	if b < NumBuckets {
+		return bucketNames[b]
+	}
+	return "?"
+}
+
+// CPISum returns the bucket total that the invariant compares against
+// Cycles: every bucket except the SMT sibling-idle view.
+func (s *BaseStats) CPISum() uint64 {
+	var sum uint64
+	for b := Bucket(0); b < NumBuckets; b++ {
+		if b != BktSMTIdle {
+			sum += s.CPI[b]
+		}
+	}
+	return sum
+}
+
+// publishCPI exports the full bucket array (zeros included, so every
+// model exposes the identical counter set).
+func (s *BaseStats) publishCPI(r *obs.Registry) {
+	for b := Bucket(0); b < NumBuckets; b++ {
+		r.Counter("cpi/" + bucketNames[b]).Set(s.CPI[b])
+	}
+}

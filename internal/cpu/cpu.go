@@ -78,6 +78,10 @@ type BaseStats struct {
 	// contributes one sample whose value is the number outstanding.
 	MLPSamples uint64
 	MLPSum     uint64
+
+	// CPI is the cycle-accounting stack: every simulated cycle lands in
+	// exactly one bucket (see cpi.go for the taxonomy and invariant).
+	CPI [NumBuckets]uint64
 }
 
 // IPC returns retired instructions per cycle.
@@ -133,6 +137,7 @@ func (s *BaseStats) PublishObs(r *obs.Registry) {
 	r.Counter("core/branch_mispredicts").Set(s.BranchMispred)
 	r.Counter("core/mlp_samples").Set(s.MLPSamples)
 	r.Counter("core/mlp_sum").Set(s.MLPSum)
+	s.publishCPI(r)
 	// Uniform cross-model placeholders (see doc comment).
 	r.Counter("core/checkpoints_taken")
 	r.Counter("core/checkpoints_committed")

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -15,6 +16,7 @@ import (
 	"sync"
 
 	"rocksim/internal/cpu"
+	"rocksim/internal/obs"
 	"rocksim/internal/sim"
 	"rocksim/internal/stats"
 	"rocksim/internal/workload"
@@ -132,7 +134,7 @@ type Runner struct {
 	// computeFn, when non-nil, replaces the compute function for cache
 	// fills. Test seam: the retry/singleflight tests inject counting and
 	// panicking computes without needing a crashing simulator.
-	computeFn func(k sim.Kind, spec *workload.Spec, opts sim.Options) (sim.Outcome, error)
+	computeFn func(ctx context.Context, k sim.Kind, spec *workload.Spec, opts sim.Options) (sim.Outcome, error)
 }
 
 // cacheEntry is one cell of the run cache. The first requester computes
@@ -308,12 +310,33 @@ func cacheKey(k sim.Kind, spec *workload.Spec, opts sim.Options) string {
 // Concurrent requests for an in-flight cell block until the first
 // requester finishes (singleflight), so shared cells are computed once.
 func (r *Runner) run(k sim.Kind, spec *workload.Spec, opts sim.Options) (sim.Outcome, error) {
+	return r.runCtx(context.Background(), k, spec, opts)
+}
+
+// runCtx is run under a caller context. The context carries the
+// request's tracer (see internal/obs StartSpan), never simulation
+// inputs: a cell's cache key and outcome are identical with tracing on
+// or off. The span shapes are part of the service contract — a request
+// that computes gets cache-lookup and compute spans; a request that
+// joins an in-flight compute gets cache-lookup and cache-join, never a
+// duplicate compute.
+func (r *Runner) runCtx(ctx context.Context, k sim.Kind, spec *workload.Spec, opts sim.Options) (sim.Outcome, error) {
 	ck := cacheKey(k, spec, opts)
+	_, ls := obs.StartSpan(ctx, "cache-lookup")
 	r.mu.Lock()
 	if e, ok := r.cache[ck]; ok {
 		r.hits++
 		r.mu.Unlock()
-		<-e.done
+		ls.SetAttr("hit", "true")
+		ls.End()
+		select {
+		case <-e.done:
+		default:
+			// Singleflight: another requester is computing this cell.
+			_, js := obs.StartSpan(ctx, "cache-join")
+			<-e.done
+			js.End()
+		}
 		return e.out, e.err
 	}
 	r.misses++
@@ -321,16 +344,29 @@ func (r *Runner) run(k sim.Kind, spec *workload.Spec, opts sim.Options) (sim.Out
 	e := &cacheEntry{done: make(chan struct{})}
 	r.cache[ck] = e
 	r.mu.Unlock()
+	ls.SetAttr("hit", "false")
+	ls.End()
 	if fn == nil {
 		fn = compute
 	}
-	out, err := fn(k, spec, opts)
+	// The compute outlives the requester's cancellation scope:
+	// singleflight sharers depend on this fill, so a disconnecting
+	// originator must not abort it. Tracer values still flow.
+	cctx, cs := obs.StartSpan(context.WithoutCancel(ctx), "compute")
+	cs.SetAttr("kind", k.String())
+	cs.SetAttr("workload", spec.Name)
+	out, err := fn(cctx, k, spec, opts)
 	var pe *PanicError
 	if errors.As(err, &pe) {
 		// One bounded retry on a crash; a deterministic panic fails the
 		// cell for every sharer, with the stack preserved in the error.
-		out, err = fn(k, spec, opts)
+		cs.SetAttr("retried", "panic")
+		out, err = fn(cctx, k, spec, opts)
 	}
+	if err != nil {
+		cs.SetAttr("err", err.Error())
+	}
+	cs.End()
 	e.out, e.err = out, err
 	close(e.done)
 	return out, err
@@ -343,9 +379,22 @@ func (r *Runner) run(k sim.Kind, spec *workload.Spec, opts sim.Options) (sim.Out
 // attributed *PanicError with one bounded retry. This is the cell-level
 // entry point the service front-end uses; grids go through Run.
 func (r *Runner) RunCell(k sim.Kind, spec *workload.Spec, opts sim.Options) (sim.Outcome, error) {
+	return r.RunCellCtx(context.Background(), k, spec, opts)
+}
+
+// RunCellCtx is RunCell under a caller context, adding the request-
+// scoped spans: queue-wait covers the worker-pool admission, then the
+// cache/compute spans from runCtx. Tracing changes no outcome — the
+// context carries only observability state.
+func (r *Runner) RunCellCtx(ctx context.Context, k sim.Kind, spec *workload.Spec, opts sim.Options) (sim.Outcome, error) {
+	sem := r.semaphore()
+	_, qs := obs.StartSpan(ctx, "queue-wait")
+	sem <- struct{}{}
+	qs.End()
+	defer func() { <-sem }()
 	var out sim.Outcome
-	err := r.forEach(1, func(int) error {
-		o, err := r.run(k, spec, opts)
+	err := runJob(0, func(int) error {
+		o, err := r.runCtx(ctx, k, spec, opts)
 		out = o
 		return err
 	})
@@ -366,14 +415,14 @@ func (r *Runner) CacheStats() (hits, misses uint64) {
 // pool) guarantees the cache entry's done channel closes even when the
 // simulator crashes — a panicking cell must never deadlock the
 // singleflight sharers blocked on it.
-func compute(k sim.Kind, spec *workload.Spec, opts sim.Options) (out sim.Outcome, err error) {
+func compute(ctx context.Context, k sim.Kind, spec *workload.Spec, opts sim.Options) (out sim.Outcome, err error) {
 	defer func() {
 		if v := recover(); v != nil {
 			err = fmt.Errorf("experiments: %v on %s: %w", k, spec.Name,
 				&PanicError{Value: v, Stack: debug.Stack()})
 		}
 	}()
-	out, err = sim.Run(k, spec.Program, opts)
+	out, err = sim.RunContext(ctx, k, spec.Program, opts)
 	if err != nil {
 		err = fmt.Errorf("experiments: %v on %s: %w", k, spec.Name, err)
 	}

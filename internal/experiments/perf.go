@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"rocksim/internal/core"
+	"rocksim/internal/cpu"
 	"rocksim/internal/sim"
 	"rocksim/internal/stats"
 	"rocksim/internal/workload"
@@ -117,17 +118,21 @@ func (r *Runner) ModeBreakdown(scale workload.Scale) (*Result, error) {
 	for k := core.CycleKind(0); k < core.NumCycleKinds; k++ {
 		headers = append(headers, k.String()+"%")
 	}
+	headers = append(headers, "top-loss")
 	t := stats.NewTable("Figure 2: SST execution-cycle breakdown", headers...)
 	for i, w := range specs {
 		row := []any{w.Name}
 		if errs[i] != nil {
-			t.AddRow(fillErr(row, int(core.NumCycleKinds), errs[i])...)
+			t.AddRow(fillErr(row, int(core.NumCycleKinds)+1, errs[i])...)
 			continue
 		}
 		st := sstStats(outs[i])
 		for k := core.CycleKind(0); k < core.NumCycleKinds; k++ {
 			row = append(row, stats.Pct(st.ModeCycles[k], st.Cycles))
 		}
+		// The cycle-accounting view of the same run: the single bucket
+		// costing the most cycles (rollback causes included).
+		row = append(row, sim.TopLoss(&st.BaseStats))
 		t.AddRow(row...)
 	}
 	return &Result{ID: "F2", Title: "SST execution-time breakdown", Tables: []*stats.Table{t}, Errs: collectErrs(errs)}, nil
@@ -248,7 +253,7 @@ func (r *Runner) RollbackAccounting(scale workload.Scale) (*Result, error) {
 	for c := core.RollbackCause(0); c < core.NumRollbackCauses; c++ {
 		headers = append(headers, "rb:"+c.String())
 	}
-	headers = append(headers, "discarded-insts%", "defer%", "dq-occ-mean")
+	headers = append(headers, "discarded-insts%", "discarded-cycles%", "defer%", "dq-occ-mean")
 	t := stats.NewTable("Figure 10: SST speculation outcome accounting", headers...)
 	for i, w := range specs {
 		row := []any{w.Name}
@@ -261,8 +266,15 @@ func (r *Runner) RollbackAccounting(scale workload.Scale) (*Result, error) {
 		for cse := core.RollbackCause(0); cse < core.NumRollbackCauses; cse++ {
 			row = append(row, st.RollbacksBy[cse])
 		}
+		// Cycle-accounting view: cycles re-attributed to rollback causes
+		// (work the rollbacks discarded) as a share of all cycles.
+		var rbCycles uint64
+		for cse := core.RollbackCause(0); cse < core.NumRollbackCauses; cse++ {
+			rbCycles += st.CPI[cpu.BktRollback0+cpu.Bucket(cse)]
+		}
 		row = append(row,
 			stats.Pct(st.DiscardedInsts, st.DiscardedInsts+st.Retired),
+			stats.Pct(rbCycles, st.Cycles),
 			stats.Pct(st.Deferrals, st.Retired),
 			st.DQOcc.Mean())
 		t.AddRow(row...)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"sync/atomic"
@@ -32,7 +33,7 @@ func TestDeterministicPanicBoundedRetry(t *testing.T) {
 	r.SetJobs(4)
 	spec := testSpec(t)
 	var computes atomic.Int64
-	r.computeFn = func(k sim.Kind, s *workload.Spec, o sim.Options) (sim.Outcome, error) {
+	r.computeFn = func(_ context.Context, k sim.Kind, s *workload.Spec, o sim.Options) (sim.Outcome, error) {
 		computes.Add(1)
 		// Mimic compute's contract: panics are recovered and attributed
 		// before they reach the cache fill.
@@ -81,7 +82,7 @@ func TestTransientPanicRecovers(t *testing.T) {
 	r := NewRunner()
 	spec := testSpec(t)
 	var computes atomic.Int64
-	r.computeFn = func(k sim.Kind, s *workload.Spec, o sim.Options) (sim.Outcome, error) {
+	r.computeFn = func(_ context.Context, k sim.Kind, s *workload.Spec, o sim.Options) (sim.Outcome, error) {
 		if computes.Add(1) == 1 {
 			return sim.Outcome{}, &PanicError{Value: "transient", Stack: []byte("stack")}
 		}

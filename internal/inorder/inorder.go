@@ -146,6 +146,26 @@ func (c *Core) Err() error { return c.err }
 // Regs returns the architectural register file (for test validation).
 func (c *Core) Regs() [isa.NumRegs]int64 { return c.regs }
 
+// stallBucket maps an issue-loop stall to its cycle-accounting bucket.
+// A data stall with misses outstanding is a memory wait (mshr); without,
+// it is a plain scoreboard wait on a short-latency producer.
+func stallBucket(k StallKind, outstanding int) cpu.Bucket {
+	switch k {
+	case StallFetch, StallRedirect:
+		return cpu.BktFetch
+	case StallData:
+		if outstanding > 0 {
+			return cpu.BktMSHR
+		}
+		return cpu.BktScoreboard
+	case StallLoadLimit:
+		return cpu.BktMSHR
+	case StallStoreBuffer:
+		return cpu.BktStoreBuf
+	}
+	return cpu.BktScoreboard
+}
+
 func pruneTimes(ts []uint64, now uint64) []uint64 {
 	live := ts[:0]
 	for _, t := range ts {
@@ -179,6 +199,7 @@ func (c *Core) Tick() {
 	c.loadsInFlight = pruneTimes(c.loadsInFlight, now)
 	c.storeBuf = pruneTimes(c.storeBuf, now)
 	c.stats.SampleMLP(c.m.Hier.OutstandingDataMisses(c.m.CoreID, now))
+	c.stats.CPI[cpu.BktSMTIdle]++
 	c.stats.Cycles++
 	c.cycle++
 }
@@ -294,6 +315,11 @@ issueLoop:
 	}
 	outstanding := c.m.Hier.OutstandingDataMisses(c.m.CoreID, now)
 	c.stats.SampleMLP(outstanding)
+	if issued > 0 {
+		c.stats.CPI[cpu.BktRetire]++
+	} else {
+		c.stats.CPI[stallBucket(stall, outstanding)]++
+	}
 	if c.sink != nil {
 		c.occ[0], c.occ[1] = len(c.loadsInFlight), len(c.storeBuf)
 		c.sink.CycleState(now, "normal", issued, 0, c.occ[:])
@@ -372,6 +398,8 @@ func (c *Core) FastForward(target, stride, phase uint64) {
 		steps = f(b) - f(a)
 	}
 	c.stats.StallCycles[c.ffStall] += steps
+	c.stats.CPI[stallBucket(c.ffStall, c.ffMLP)] += steps
+	c.stats.CPI[cpu.BktSMTIdle] += total - steps
 	if c.ffMLP > 0 {
 		// Step and Tick both sample MLP, so every cycle contributes.
 		c.stats.MLPSamples += total

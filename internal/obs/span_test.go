@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// fakeClock returns a clock that advances a fixed step per reading —
+// the injection point that makes span exports byte-deterministic.
+func fakeClock(step time.Duration) func() time.Time {
+	base := time.Unix(0, 0)
+	var n int64
+	return func() time.Time {
+		n++
+		return base.Add(time.Duration(n) * step)
+	}
+}
+
+func TestSpanTreeNesting(t *testing.T) {
+	tr := NewTracerClock(fakeClock(10 * time.Microsecond))
+	ctx := WithTracer(context.Background(), tr)
+	ctx, root := StartSpan(ctx, "request")
+	if root == nil {
+		t.Fatal("StartSpan returned nil with a tracer installed")
+	}
+	cctx, child := StartSpan(ctx, "compute")
+	child.SetAttr("kind", "sst")
+	_, grand := StartSpan(cctx, "sim-run")
+	grand.End()
+	child.End()
+	root.End()
+
+	snaps := tr.Snapshot()
+	if len(snaps) != 3 {
+		t.Fatalf("got %d spans, want 3", len(snaps))
+	}
+	if snaps[0].Name != "request" || snaps[0].Parent != 0 {
+		t.Errorf("root = %+v, want name request parent 0", snaps[0])
+	}
+	if snaps[1].Name != "compute" || snaps[1].Parent != snaps[0].ID {
+		t.Errorf("child = %+v, want parent %d", snaps[1], snaps[0].ID)
+	}
+	if snaps[2].Name != "sim-run" || snaps[2].Parent != snaps[1].ID {
+		t.Errorf("grandchild = %+v, want parent %d", snaps[2], snaps[1].ID)
+	}
+	if len(snaps[1].Attrs) != 1 || snaps[1].Attrs[0] != (Attr{"kind", "sst"}) {
+		t.Errorf("child attrs = %v, want [{kind sst}]", snaps[1].Attrs)
+	}
+	// Parent intervals cover their children.
+	if snaps[1].StartUs < snaps[0].StartUs ||
+		snaps[1].StartUs+snaps[1].DurUs > snaps[0].StartUs+snaps[0].DurUs {
+		t.Errorf("child [%d,+%d] escapes root [%d,+%d]",
+			snaps[1].StartUs, snaps[1].DurUs, snaps[0].StartUs, snaps[0].DurUs)
+	}
+}
+
+func TestSpanNilSafety(t *testing.T) {
+	ctx, s := StartSpan(context.Background(), "untraced")
+	if s != nil {
+		t.Fatal("StartSpan without a tracer must return a nil span")
+	}
+	// Every Span method must be a no-op on nil, and nested StartSpan
+	// must keep returning nil spans.
+	s.SetAttr("k", "v")
+	s.End()
+	if s.Duration() != 0 || s.Name() != "" {
+		t.Error("nil span accessors must return zero values")
+	}
+	if _, c := StartSpan(ctx, "child"); c != nil {
+		t.Error("nested StartSpan without a tracer must stay nil")
+	}
+	if SpanFrom(ctx) != nil || TracerFrom(ctx) != nil {
+		t.Error("untraced context must carry no tracer or span")
+	}
+	var tr *Tracer
+	if tr.Start("x") != nil || tr.Snapshot() != nil {
+		t.Error("nil tracer must yield nil spans and snapshots")
+	}
+}
+
+// TestSpanExportDeterminism pins the contract the service determinism
+// test builds on: identical span sequences against a fake clock export
+// byte-identical flat and Chrome JSON.
+func TestSpanExportDeterminism(t *testing.T) {
+	build := func() *Tracer {
+		tr := NewTracerClock(fakeClock(7 * time.Microsecond))
+		ctx := WithTracer(context.Background(), tr)
+		ctx, root := StartSpan(ctx, "request")
+		root.SetAttr("id", "r-1")
+		_, q := StartSpan(ctx, "queue-wait")
+		q.End()
+		_, c := StartSpan(ctx, "compute")
+		c.End()
+		root.End()
+		return tr
+	}
+	var a, b, ca, cb bytes.Buffer
+	ta, tb := build(), build()
+	if err := ta.WriteSpans(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.WriteSpans(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("flat exports differ:\n%s\nvs\n%s", a.Bytes(), b.Bytes())
+	}
+	if err := ta.WriteChrome(&ca); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.WriteChrome(&cb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ca.Bytes(), cb.Bytes()) {
+		t.Errorf("chrome exports differ:\n%s\nvs\n%s", ca.Bytes(), cb.Bytes())
+	}
+}
+
+// TestSpanChromeShape asserts every exported event is an "X" complete
+// event carrying ts, dur, pid and tid — the fields the trace-smoke
+// linter requires.
+func TestSpanChromeShape(t *testing.T) {
+	tr := NewTracerClock(fakeClock(5 * time.Microsecond))
+	ctx := WithTracer(context.Background(), tr)
+	ctx, root := StartSpan(ctx, "request")
+	_, c := StartSpan(ctx, "compute")
+	c.SetAttr("cycles", "100")
+	c.End()
+	root.End()
+	// A second root lands on its own trace thread.
+	r2 := tr.Start("request-2")
+	r2.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("chrome export is not valid JSON: %v", err)
+	}
+	if len(f.TraceEvents) != 3 {
+		t.Fatalf("got %d events, want 3", len(f.TraceEvents))
+	}
+	tids := map[float64]bool{}
+	for i, ev := range f.TraceEvents {
+		if ev["ph"] != "X" {
+			t.Errorf("event %d: ph = %v, want X", i, ev["ph"])
+		}
+		for _, k := range []string{"ts", "dur", "pid", "tid"} {
+			if _, ok := ev[k].(float64); !ok {
+				t.Errorf("event %d (%v): missing numeric %q", i, ev["name"], k)
+			}
+		}
+		if d, _ := ev["dur"].(float64); d < 1 {
+			t.Errorf("event %d: dur %v < 1", i, d)
+		}
+		tids[ev["tid"].(float64)] = true
+	}
+	if len(tids) != 2 {
+		t.Errorf("two roots should occupy two trace threads, got tids %v", tids)
+	}
+}

@@ -242,6 +242,11 @@ func (c *Core) Step() {
 	}
 	outstanding := c.m.Hier.OutstandingDataMisses(c.m.CoreID, now)
 	c.stats.SampleMLP(outstanding)
+	if c.stats.Retired > retiredBefore {
+		c.stats.CPI[cpu.BktRetire]++
+	} else {
+		c.stats.CPI[c.stallBucket(outstanding)]++
+	}
 	if c.sink != nil {
 		c.occ[0], c.occ[1] = c.count, c.memOps
 		c.sink.CycleState(now, "normal", int(c.stats.Retired-retiredBefore), 0, c.occ[:])
@@ -260,6 +265,23 @@ func (c *Core) Step() {
 		c.ffNext = c.nextTimer(now)
 	} else {
 		c.ffNext = 0
+	}
+}
+
+// stallBucket attributes a no-retire cycle by the head-of-ROB blocker:
+// an empty ROB is a frontend problem, outstanding data misses mean the
+// memory system is the wait, and anything else is a short-latency
+// dependency chain (issue-window scoreboarding). The inputs (ROB count,
+// outstanding misses) are exactly the quantities the fast-forward purity
+// proof holds constant, so SkipTo can replay the same attribution.
+func (c *Core) stallBucket(outstanding int) cpu.Bucket {
+	switch {
+	case c.count == 0:
+		return cpu.BktFetch
+	case outstanding > 0:
+		return cpu.BktMSHR
+	default:
+		return cpu.BktScoreboard
 	}
 }
 
@@ -302,6 +324,7 @@ func (c *Core) SkipTo(target uint64) {
 	c.stats.ROBFullCycles += c.ffRobFull * n
 	c.stats.FetchStallCycles += c.ffFetchStall * n
 	c.stats.EmptyIssueCycles += c.ffEmptyIssue * n
+	c.stats.CPI[c.stallBucket(c.ffMLP)] += n
 	if c.ffMLP > 0 {
 		c.stats.MLPSamples += n
 		c.stats.MLPSum += uint64(c.ffMLP) * n

@@ -100,8 +100,56 @@ func responseError(resp *http.Response, body []byte) error {
 // Run executes one cell and returns the report JSON exactly as the
 // daemon produced it (byte-identical to `sstsim -json`).
 func (c *Client) Run(req serve.RunRequest) ([]byte, error) {
-	_, body, err := c.post("/v1/run", req, http.StatusOK)
-	return body, err
+	res, err := c.RunDetail(req)
+	if err != nil {
+		return nil, err
+	}
+	return res.Body, nil
+}
+
+// RunResult is a /v1/run response plus the client-side and
+// server-reported timing that load tools care about.
+type RunResult struct {
+	// Body is the report JSON, byte-identical to Run's return.
+	Body []byte
+	// RequestID echoes the daemon's X-Request-ID header; pair it with
+	// the daemon log or GET /v1/trace/{id}.
+	RequestID string
+	// TTFB is the client-measured time from sending the request until
+	// response headers arrived (includes queue wait on the server).
+	TTFB time.Duration
+	// Compute is the server-reported X-Compute-Us: wall time the
+	// daemon spent inside the runner (0 on a warm cache hit). The gap
+	// TTFB-Compute is queueing, marshalling, and network.
+	Compute time.Duration
+}
+
+// RunDetail executes one cell like Run but also surfaces the request
+// id and timing split (client TTFB vs server-reported compute).
+func (c *Client) RunDetail(req serve.RunRequest) (*RunResult, error) {
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	resp, err := c.http().Post(c.Base+"/v1/run", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	ttfb := time.Since(t0)
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, responseError(resp, body)
+	}
+	res := &RunResult{Body: body, RequestID: resp.Header.Get("X-Request-ID"), TTFB: ttfb}
+	if us, err := strconv.ParseInt(resp.Header.Get("X-Compute-Us"), 10, 64); err == nil {
+		res.Compute = time.Duration(us) * time.Microsecond
+	}
+	return res, nil
 }
 
 // Grid regenerates experiments synchronously and returns the text

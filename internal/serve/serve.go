@@ -13,8 +13,14 @@
 //	                 `sstbench` output minus its wall-clock lines.
 //	                 {"async": true} returns 202 with a result id.
 //	GET  /v1/result/{id}   poll an async grid (202 running, 200 done).
+//	GET  /v1/trace/{id}    a traced request's span tree (Chrome JSON, or
+//	                       the flat list with ?format=spans).
 //	GET  /metrics    Prometheus text (service counters + run metrics).
 //	GET  /healthz    liveness; 503 once draining.
+//
+// Every response echoes (or assigns) X-Request-ID. Requests are traced
+// when Config.Trace is set or the client sends X-Trace: 1; tracing
+// changes headers and the /v1/trace ring only, never a response body.
 //
 // Backpressure is admission-controlled: at most Config.QueueDepth run
 // and grid requests may be in flight (executing on the Runner's worker
@@ -28,9 +34,12 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
@@ -64,13 +73,26 @@ type Config struct {
 	// RetryAfter is the hint returned with 429 responses. 0 means
 	// DefaultRetryAfter.
 	RetryAfter time.Duration
+	// Trace enables request-scoped tracing for every request; off, a
+	// client can still trace one request with the X-Trace: 1 header.
+	// Tracing never changes a response body — only headers and the
+	// /v1/trace ring.
+	Trace bool
+	// TraceRing bounds retained finished traces (0 = DefaultTraceRing).
+	TraceRing int
+	// Logger receives the structured request/drain log lines; nil
+	// discards them (tests), rocksimd passes its process logger.
+	Logger *slog.Logger
+	// Clock feeds span timestamps; nil means time.Now. Tests inject a
+	// fake incrementing clock to make trace exports byte-deterministic.
+	Clock func() time.Time
 }
 
 // runner is the slice of *experiments.Runner the service consumes.
 // It is an interface so the backpressure and drain tests can inject a
 // blocking fake; production code always passes the real Runner.
 type runner interface {
-	RunCell(k sim.Kind, spec *workload.Spec, opts sim.Options) (sim.Outcome, error)
+	RunCellCtx(ctx context.Context, k sim.Kind, spec *workload.Spec, opts sim.Options) (sim.Outcome, error)
 	Run(id string, scale workload.Scale) (*experiments.Result, error)
 	BaseOptions() sim.Options
 	CacheStats() (hits, misses uint64)
@@ -78,10 +100,12 @@ type runner interface {
 
 // Server is the rocksimd HTTP handler.
 type Server struct {
-	cfg Config
-	run runner
-	reg *obs.Registry
-	mux *http.ServeMux
+	cfg   Config
+	run   runner
+	reg   *obs.Registry
+	mux   *http.ServeMux
+	log   *slog.Logger
+	clock func() time.Time
 
 	// sem is the admission semaphore: one slot per admitted heavy
 	// request. Acquisition is non-blocking — a full channel is a 429,
@@ -91,11 +115,18 @@ type Server struct {
 	// wg tracks admitted work, including async grid goroutines that
 	// outlive their HTTP request; Wait returns when it drains.
 	wg sync.WaitGroup
+	// reqID numbers requests that arrive without an X-Request-ID.
+	reqID atomic.Uint64
+	// inflight counts simulations executing right now (inside the
+	// runner), as opposed to len(sem) which also counts queued work.
+	inflight atomic.Int64
 
-	mu     sync.Mutex
-	jobs   map[string]*gridJob
-	order  []string // job ids, oldest first, for bounded retention
-	nextID uint64
+	mu         sync.Mutex
+	jobs       map[string]*gridJob
+	order      []string // job ids, oldest first, for bounded retention
+	nextID     uint64
+	traces     map[string]*obs.Tracer
+	traceOrder []string // request ids, oldest first
 }
 
 // gridJob is one async grid computation.
@@ -118,30 +149,39 @@ func newServer(cfg Config, r runner) *Server {
 		cfg.RetryAfter = DefaultRetryAfter
 	}
 	s := &Server{
-		cfg:  cfg,
-		run:  r,
-		reg:  obs.NewRegistry(),
-		mux:  http.NewServeMux(),
-		sem:  make(chan struct{}, cfg.QueueDepth),
-		jobs: make(map[string]*gridJob),
+		cfg:    cfg,
+		run:    r,
+		reg:    obs.NewRegistry(),
+		mux:    http.NewServeMux(),
+		log:    cfg.Logger,
+		clock:  cfg.Clock,
+		sem:    make(chan struct{}, cfg.QueueDepth),
+		jobs:   make(map[string]*gridJob),
+		traces: make(map[string]*obs.Tracer),
+	}
+	if s.log == nil {
+		s.log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if s.clock == nil {
+		s.clock = time.Now
 	}
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
 	s.mux.HandleFunc("POST /v1/grid", s.handleGrid)
 	s.mux.HandleFunc("GET /v1/result/{id}", s.handleResult)
+	s.mux.HandleFunc("GET /v1/trace/{id}", s.handleTrace)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
-}
-
 // StartDrain puts the service in lame-duck mode: subsequent run/grid
 // requests are refused with 503 while already-admitted work (including
 // async grids) runs to completion.
-func (s *Server) StartDrain() { s.draining.Store(true) }
+func (s *Server) StartDrain() {
+	if !s.draining.Swap(true) {
+		s.log.Info("drain start", "inflight", s.inflight.Load(), "queued", len(s.sem))
+	}
+}
 
 // Draining reports whether StartDrain has been called.
 func (s *Server) Draining() bool { return s.draining.Load() }
@@ -249,9 +289,10 @@ func parseFaults(spec string) (*faults.Plan, error) {
 
 // admit takes an admission slot, or explains over HTTP why it could
 // not. The caller must release() exactly when ok.
-func (s *Server) admit(w http.ResponseWriter) (release func(), ok bool) {
+func (s *Server) admit(ctx context.Context, w http.ResponseWriter) (release func(), ok bool) {
 	if s.draining.Load() {
 		s.reg.Counter("serve/rejected_draining").Inc()
+		s.log.Warn("request refused: draining", "id", RequestID(ctx))
 		httpError(w, http.StatusServiceUnavailable, "draining: not accepting new work")
 		return nil, false
 	}
@@ -260,6 +301,7 @@ func (s *Server) admit(w http.ResponseWriter) (release func(), ok bool) {
 	default:
 		s.reg.Counter("serve/rejected_busy").Inc()
 		secs := int((s.cfg.RetryAfter + time.Second - 1) / time.Second)
+		s.log.Warn("request refused: queue full", "id", RequestID(ctx), "retry_after_s", secs)
 		w.Header().Set("Retry-After", strconv.Itoa(secs))
 		httpError(w, http.StatusTooManyRequests,
 			fmt.Sprintf("queue full (%d in flight); retry after %ds", s.cfg.QueueDepth, secs))
@@ -276,8 +318,11 @@ func (s *Server) admit(w http.ResponseWriter) (release func(), ok bool) {
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
 	s.reg.Counter("serve/run_requests").Inc()
-	release, ok := s.admit(w)
+	_, as := obs.StartSpan(ctx, "admission")
+	release, ok := s.admit(ctx, w)
+	as.End()
 	if !ok {
 		return
 	}
@@ -315,9 +360,19 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	reg := obs.NewRegistry()
 	opts.Metrics = reg
 
-	out, err := s.run.RunCell(kind, spec, opts)
+	s.inflight.Add(1)
+	t0 := time.Now()
+	out, err := s.run.RunCellCtx(ctx, kind, spec, opts)
+	computeUs := time.Since(t0).Microseconds()
+	s.inflight.Add(-1)
+	// X-Compute-Us is the server-side cell time (queue wait + cache or
+	// compute), traced or not; rockload subtracts it from client TTFB to
+	// separate network/daemon overhead from simulation time.
+	w.Header().Set("X-Compute-Us", strconv.FormatInt(computeUs, 10))
 	if err != nil {
 		s.reg.Counter("serve/run_errors").Inc()
+		s.log.Error("run failed", "id", RequestID(ctx), "kind", req.Kind,
+			"workload", req.Workload, "err", err)
 		code := http.StatusInternalServerError
 		if errors.Is(err, cpu.ErrDeadline) {
 			code = http.StatusGatewayTimeout
@@ -325,19 +380,39 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		httpError(w, code, err.Error())
 		return
 	}
+	_, bs := obs.StartSpan(ctx, "assemble")
 	var buf bytes.Buffer
 	if err := sim.NewReport(out).WriteJSON(&buf); err != nil {
+		bs.End()
 		httpError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
+	bs.End()
+	s.publishRunCPI(out)
 	s.reg.Counter("serve/cells_served").Inc()
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(buf.Bytes())
 }
 
+// publishRunCPI folds a served cell's cycle-accounting stack into the
+// service metrics, so /metrics exposes where the daemon's simulated
+// cycles went across all requests (cached cells count once per serve,
+// matching cells_served).
+func (s *Server) publishRunCPI(out sim.Outcome) {
+	if out.Core == nil {
+		return
+	}
+	b := out.Core.Base()
+	for bk := cpu.Bucket(0); bk < cpu.NumBuckets; bk++ {
+		if b.CPI[bk] > 0 {
+			s.reg.Counter("sim/cpi/" + bk.String()).Add(b.CPI[bk])
+		}
+	}
+}
+
 func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
 	s.reg.Counter("serve/grid_requests").Inc()
-	release, ok := s.admit(w)
+	release, ok := s.admit(r.Context(), w)
 	if !ok {
 		return
 	}
@@ -394,11 +469,14 @@ func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
 // "(… regenerated in …)" lines removed: each result rendered by
 // Result.Fprint followed by the blank separator line.
 func (s *Server) computeGrid(ids []string, scale workload.Scale) (status int, body []byte) {
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
 	var buf bytes.Buffer
 	for _, id := range ids {
 		res, err := s.run.Run(id, scale)
 		if err != nil {
 			s.reg.Counter("serve/grid_errors").Inc()
+			s.log.Error("grid failed", "exp", id, "err", err)
 			if errors.Is(err, cpu.ErrDeadline) {
 				return http.StatusGatewayTimeout, []byte(err.Error())
 			}
@@ -494,6 +572,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	hits, misses := s.run.CacheStats()
 	s.reg.Counter("serve/cache_hits").Set(hits)
 	s.reg.Counter("serve/cache_misses").Set(misses)
+	s.reg.Gauge("serve/queue_depth").Set(int64(len(s.sem)))
+	s.reg.Gauge("serve/inflight_runs").Set(s.inflight.Load())
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	if err := s.reg.WriteProm(w); err != nil {
 		// Headers are gone; nothing more to do than note it.
@@ -503,12 +583,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
+	body := map[string]any{
+		"ok":            !s.draining.Load(),
+		"draining":      s.draining.Load(),
+		"queue_depth":   len(s.sem),
+		"inflight_runs": s.inflight.Load(),
+	}
 	if s.draining.Load() {
 		w.WriteHeader(http.StatusServiceUnavailable)
-		json.NewEncoder(w).Encode(map[string]any{"ok": false, "draining": true})
-		return
 	}
-	json.NewEncoder(w).Encode(map[string]any{"ok": true, "draining": false})
+	json.NewEncoder(w).Encode(body)
 }
 
 // decodeJSON reads a request body strictly: unknown fields are errors,

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -234,7 +235,7 @@ type fakeRunner struct {
 	cellErr error
 }
 
-func (f *fakeRunner) RunCell(k sim.Kind, spec *workload.Spec, opts sim.Options) (sim.Outcome, error) {
+func (f *fakeRunner) RunCellCtx(ctx context.Context, k sim.Kind, spec *workload.Spec, opts sim.Options) (sim.Outcome, error) {
 	f.started <- struct{}{}
 	<-f.release
 	return sim.Outcome{}, f.cellErr

@@ -1,0 +1,246 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"rocksim/internal/experiments"
+	"rocksim/internal/obs"
+)
+
+// stepClock returns a deterministic clock: each call advances one
+// millisecond from a fixed base, so span exports are byte-stable.
+func stepClock() func() time.Time {
+	base := time.Unix(1_700_000_000, 0)
+	n := 0
+	return func() time.Time {
+		n++
+		return base.Add(time.Duration(n) * time.Millisecond)
+	}
+}
+
+// postRun sends a /v1/run request, optionally with X-Trace: 1.
+func postRun(t *testing.T, base, body string, traced bool) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/run", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if traced {
+		req.Header.Set("X-Trace", "1")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// fetchSpans retrieves /v1/trace/{id}?format=spans as a flat span list.
+func fetchSpans(t *testing.T, base, id string) []obs.SpanSnap {
+	t.Helper()
+	resp, body := get(t, base, "/v1/trace/"+id+"?format=spans")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace %s: status %d: %s", id, resp.StatusCode, body)
+	}
+	var out struct {
+		Spans []obs.SpanSnap `json:"spans"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("trace %s: bad JSON: %v\n%s", id, err, body)
+	}
+	return out.Spans
+}
+
+func attr(s obs.SpanSnap, key string) string {
+	for _, a := range s.Attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// TestTracedRequestSpanTree is the tentpole acceptance test: a traced
+// /v1/run yields a root "request" span covering child spans for
+// admission, queue-wait, cache lookup, compute (with the simulator's
+// own sim-run nested inside), and response assembly.
+func TestTracedRequestSpanTree(t *testing.T) {
+	r := experiments.NewRunner()
+	r.SetJobs(2)
+	ts := httptest.NewServer(New(Config{Clock: stepClock()}, r))
+	defer ts.Close()
+
+	resp, body := postRun(t, ts.URL, `{"kind":"sst","workload":"chase","scale":"test"}`, true)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run: status %d: %s", resp.StatusCode, body)
+	}
+	id := resp.Header.Get("X-Request-ID")
+	if id == "" {
+		t.Fatal("traced run response missing X-Request-ID")
+	}
+	if resp.Header.Get("X-Compute-Us") == "" {
+		t.Error("run response missing X-Compute-Us")
+	}
+
+	spans := fetchSpans(t, ts.URL, id)
+	byName := map[string]obs.SpanSnap{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	root, ok := byName["request"]
+	if !ok {
+		t.Fatalf("no root request span in %v", spans)
+	}
+	if root.Parent != 0 {
+		t.Errorf("request span has parent %d, want root", root.Parent)
+	}
+	if got := attr(root, "id"); got != id {
+		t.Errorf("request span id attr %q, want %q", got, id)
+	}
+	if got := attr(root, "status"); got != "200" {
+		t.Errorf("request span status attr %q, want 200", got)
+	}
+
+	for _, name := range []string{"admission", "queue-wait", "cache-lookup", "compute", "assemble"} {
+		s, ok := byName[name]
+		if !ok {
+			t.Errorf("missing %s span", name)
+			continue
+		}
+		if s.Parent != root.ID {
+			t.Errorf("%s span parent %d, want request %d", name, s.Parent, root.ID)
+		}
+		if s.StartUs < root.StartUs || s.StartUs+s.DurUs > root.StartUs+root.DurUs {
+			t.Errorf("%s span [%d,+%d] outside request [%d,+%d]",
+				name, s.StartUs, s.DurUs, root.StartUs, root.DurUs)
+		}
+	}
+	sr, ok := byName["sim-run"]
+	if !ok {
+		t.Fatal("missing sim-run span")
+	}
+	if sr.Parent != byName["compute"].ID {
+		t.Errorf("sim-run parent %d, want compute %d", sr.Parent, byName["compute"].ID)
+	}
+	if got := attr(sr, "kind"); got != "sst" {
+		t.Errorf("sim-run kind attr %q, want sst", got)
+	}
+	if attr(sr, "cycles") == "" {
+		t.Error("sim-run span missing cycles attr")
+	}
+	if got := attr(byName["cache-lookup"], "hit"); got != "false" {
+		t.Errorf("cache-lookup hit attr %q, want false on first request", got)
+	}
+
+	// A cache hit gets cache-lookup hit=true and neither compute nor
+	// cache-join (the fill already finished).
+	resp, _ = postRun(t, ts.URL, `{"kind":"sst","workload":"chase","scale":"test"}`, true)
+	spans = fetchSpans(t, ts.URL, resp.Header.Get("X-Request-ID"))
+	names := map[string]bool{}
+	var hit string
+	for _, s := range spans {
+		names[s.Name] = true
+		if s.Name == "cache-lookup" {
+			hit = attr(s, "hit")
+		}
+	}
+	if hit != "true" {
+		t.Errorf("cached request cache-lookup hit attr %q, want true", hit)
+	}
+	if names["compute"] || names["cache-join"] {
+		t.Errorf("cached request spans %v include compute or cache-join", names)
+	}
+
+	// Untraced requests do not appear in the ring.
+	resp, _ = postRun(t, ts.URL, `{"kind":"sst","workload":"chase","scale":"test"}`, false)
+	tr, body := get(t, ts.URL, "/v1/trace/"+resp.Header.Get("X-Request-ID"))
+	if tr.StatusCode != http.StatusNotFound {
+		t.Errorf("trace of untraced request: status %d, want 404: %s", tr.StatusCode, body)
+	}
+}
+
+// TestTraceByteIdentity: tracing must never change a response body —
+// neither on the computing request nor on the cached one.
+func TestTraceByteIdentity(t *testing.T) {
+	req := `{"kind":"inorder","workload":"oltp","scale":"test"}`
+
+	plain := httptest.NewServer(New(Config{}, experiments.NewRunner()))
+	defer plain.Close()
+	traced := httptest.NewServer(New(Config{Trace: true}, experiments.NewRunner()))
+	defer traced.Close()
+
+	_, wantBody := postRun(t, plain.URL, req, false)
+	_, gotCold := postRun(t, traced.URL, req, true)
+	if !bytes.Equal(gotCold, wantBody) {
+		t.Errorf("traced compute body differs from untraced body:\ngot:  %.200s\nwant: %.200s", gotCold, wantBody)
+	}
+	_, gotWarm := postRun(t, traced.URL, req, true)
+	if !bytes.Equal(gotWarm, wantBody) {
+		t.Errorf("traced cache-hit body differs from untraced body")
+	}
+}
+
+// TestTraceExportDeterminism: two identical servers driven by the same
+// fake clock and the same request produce byte-identical trace exports
+// in both formats.
+func TestTraceExportDeterminism(t *testing.T) {
+	req := `{"kind":"sst-ea","workload":"chase","scale":"test"}`
+	export := func() (spans, chrome []byte) {
+		ts := httptest.NewServer(New(Config{Clock: stepClock()}, experiments.NewRunner()))
+		defer ts.Close()
+		resp, body := postRun(t, ts.URL, req, true)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("run: status %d: %s", resp.StatusCode, body)
+		}
+		id := resp.Header.Get("X-Request-ID")
+		_, spans = get(t, ts.URL, "/v1/trace/"+id+"?format=spans")
+		_, chrome = get(t, ts.URL, "/v1/trace/"+id)
+		return spans, chrome
+	}
+	s1, c1 := export()
+	s2, c2 := export()
+	if !bytes.Equal(s1, s2) {
+		t.Errorf("span exports differ:\n%s\n----\n%s", s1, s2)
+	}
+	if !bytes.Equal(c1, c2) {
+		t.Errorf("chrome exports differ:\n%s\n----\n%s", c1, c2)
+	}
+}
+
+// TestTraceRingEviction: the finished-trace ring is bounded; the
+// oldest trace falls out once the ring is full.
+func TestTraceRingEviction(t *testing.T) {
+	r := experiments.NewRunner()
+	// Trace via the per-request header, not Config.Trace, so the
+	// /v1/trace GETs below do not themselves enter the ring.
+	ts := httptest.NewServer(New(Config{TraceRing: 2}, r))
+	defer ts.Close()
+
+	req := `{"kind":"inorder","workload":"chase","scale":"test"}`
+	var ids []string
+	for i := 0; i < 3; i++ {
+		resp, _ := postRun(t, ts.URL, req, true)
+		ids = append(ids, resp.Header.Get("X-Request-ID"))
+	}
+	if resp, _ := get(t, ts.URL, "/v1/trace/"+ids[0]); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("oldest trace still present: status %d, want 404", resp.StatusCode)
+	}
+	for _, id := range ids[1:] {
+		if resp, _ := get(t, ts.URL, "/v1/trace/"+id); resp.StatusCode != http.StatusOK {
+			t.Errorf("trace %s evicted early: status %d", id, resp.StatusCode)
+		}
+	}
+}

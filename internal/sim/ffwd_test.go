@@ -89,6 +89,20 @@ func checkFFSeed(t *testing.T, k Kind, prog *asm.Program, plan *faults.Plan) {
 	if naive.Regs != fast.Regs {
 		t.Errorf("%v: architectural registers diverge under fast-forward", k)
 	}
+	nb, fb := naive.Core.Base(), fast.Core.Base()
+	if nb.CPI != fb.CPI {
+		t.Errorf("%v: cycle-accounting buckets diverge under fast-forward:\n naive %v\n fast  %v",
+			k, nb.CPI, fb.CPI)
+	}
+	for _, r := range []struct {
+		name string
+		b    *cpu.BaseStats
+	}{{"naive", nb}, {"fast", fb}} {
+		if sum := r.b.CPISum(); sum != r.b.Cycles {
+			t.Errorf("%v %s: cycle-accounting buckets sum to %d, want %d cycles",
+				k, r.name, sum, r.b.Cycles)
+		}
+	}
 	if !bytes.Equal(nm, fm) {
 		t.Errorf("%v: metrics JSON diverges under fast-forward: %s", k, firstDiff(nm, fm))
 	}

@@ -2,9 +2,11 @@ package sim
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 
 	"rocksim/internal/core"
+	"rocksim/internal/cpu"
 	"rocksim/internal/inorder"
 	"rocksim/internal/obs"
 	"rocksim/internal/ooo"
@@ -28,6 +30,14 @@ type Report struct {
 	LoadMemPct    float64 `json:"load_mem_pct"`
 
 	Caches CacheReport `json:"caches"`
+
+	// CPIStack is the cycle-accounting breakdown: every cycle attributed
+	// to exactly one bucket (zero buckets omitted; the values sum to
+	// Cycles, minus the smt_idle sibling view). CPITopLoss names the
+	// largest non-retire bucket — the first place to look when a run is
+	// slow.
+	CPIStack   map[string]uint64 `json:"cpi_stack,omitempty"`
+	CPITopLoss string            `json:"cpi_top_loss,omitempty"`
 
 	SST     *SSTReport     `json:"sst,omitempty"`
 	OOO     *OOOReport     `json:"ooo,omitempty"`
@@ -100,6 +110,26 @@ func pct(a, b uint64) float64 {
 	return 100 * float64(a) / float64(b)
 }
 
+// TopLoss names the largest non-retire cycle-accounting bucket as
+// "bucket:percent%" ("-" when the run lost no cycles at all). Ties break
+// toward the lower-numbered bucket for determinism.
+func TopLoss(b *cpu.BaseStats) string {
+	var top cpu.Bucket
+	var topv uint64
+	for bk := cpu.Bucket(0); bk < cpu.NumBuckets; bk++ {
+		if bk == cpu.BktRetire || bk == cpu.BktSMTIdle {
+			continue
+		}
+		if b.CPI[bk] > topv {
+			top, topv = bk, b.CPI[bk]
+		}
+	}
+	if topv == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%s:%.1f%%", top, pct(topv, b.Cycles))
+}
+
 // NewReport builds the machine-readable summary of a finished run.
 func NewReport(out Outcome) Report {
 	b := out.Core.Base()
@@ -129,6 +159,13 @@ func NewReport(out Outcome) Report {
 			LoadMissP99: h.LoadMissLatency().Quantile(0.99),
 		},
 	}
+	r.CPIStack = map[string]uint64{}
+	for bk := cpu.Bucket(0); bk < cpu.NumBuckets; bk++ {
+		if b.CPI[bk] > 0 {
+			r.CPIStack[bk.String()] = b.CPI[bk]
+		}
+	}
+	r.CPITopLoss = TopLoss(b)
 	if out.Obs != nil {
 		snap := out.Obs.Snapshot()
 		r.Metrics = &snap

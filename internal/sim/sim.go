@@ -268,6 +268,14 @@ func Run(k Kind, prog *asm.Program, opts Options) (Outcome, error) {
 // retirement for a whole window. Fault plans (Options.Faults) are
 // installed on both the core and the memory hierarchy.
 func RunContext(ctx context.Context, k Kind, prog *asm.Program, opts Options) (Outcome, error) {
+	// Request-scoped tracing: when the context carries an obs.Tracer the
+	// whole simulation is one "sim-run" span. Tracing observes the run
+	// without entering Options, so fingerprints and outcomes are
+	// identical with it on or off.
+	ctx, span := obs.StartSpan(ctx, "sim-run")
+	span.SetAttr("kind", k.String())
+	span.SetAttr("program", prog.Desc())
+	defer span.End()
 	m := mem.NewSparse()
 	prog.Load(m)
 	mach, err := cpu.NewMachine(m, opts.Hier, opts.Pred)
@@ -301,8 +309,11 @@ func RunContext(ctx context.Context, k Kind, prog *asm.Program, opts Options) (O
 	})
 	inj.PublishObs(opts.Metrics)
 	if runErr != nil {
+		span.SetAttr("err", runErr.Error())
 		return Outcome{}, fmt.Errorf("sim: %v on %s: %w", k, prog.Desc(), runErr)
 	}
+	span.SetAttr("cycles", fmt.Sprint(c.Cycle()))
+	span.SetAttr("retired", fmt.Sprint(c.Retired()))
 	out := Outcome{
 		Kind:    k,
 		Cycles:  c.Cycle(),

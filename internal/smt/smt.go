@@ -96,6 +96,13 @@ func (c *Core) Base() *cpu.BaseStats {
 		MLPSamples:    a.MLPSamples + b.MLPSamples,
 		MLPSum:        a.MLPSum + b.MLPSum,
 	}
+	// Cycle accounting sums across threads. Each physical cycle shows up
+	// once as an issue-slot bucket (in the thread that owned the slot)
+	// and, while both threads run, once as the sibling's smt_idle — so
+	// the aggregate invariant is sum(CPI) - CPI[smt_idle] == Cycles.
+	for i := range c.agg.CPI {
+		c.agg.CPI[i] = a.CPI[i] + b.CPI[i]
+	}
 	return &c.agg
 }
 
