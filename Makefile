@@ -96,7 +96,10 @@ bench:
 	$(GO) run ./cmd/rockload -self -n 200 -c 8 -scale test -o BENCH_serve.json
 
 # Fail when any kind runs at <80% of the recorded simcycles/s or
-# allocates >120% of the recorded allocs/op, or when the service serves
+# allocates >120% of the recorded allocs/op, when a pooled (reused
+# sim.Instance) short-program run exceeds 100 allocs/op — an ABSOLUTE
+# ceiling, independent of the baseline — or falls under 80% of the
+# recorded pooled runs/s, or when the service serves
 # <80% of the recorded req/s (p95 >120% + 5ms also fails); a missing
 # baseline skips the corresponding guard.
 bench-guard:

@@ -20,6 +20,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -27,11 +28,13 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"rocksim/internal/experiments"
@@ -85,8 +88,15 @@ func main() {
 	gridOut := flag.String("grid-out", "-", "write the fetched grid to this file ('-' = stdout)")
 	flag.Parse()
 
+	// SIGINT/SIGTERM cancel the run context: workers stop taking cells
+	// and any in-progress 429 backoff sleep aborts immediately, so ^C
+	// during a long Retry-After never hangs the process. A second signal
+	// kills the process the default way (NotifyContext unregisters).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	if *check != "" {
-		runCheck(*check, *n, *c, *scaleFlag)
+		runCheck(ctx, *check, *n, *c, *scaleFlag)
 		return
 	}
 
@@ -115,7 +125,7 @@ func main() {
 		}
 		writeOut(*gridOut, grid)
 	default:
-		rep, err := measure(cl, *n, *c, *scaleFlag)
+		rep, err := measure(ctx, cl, *n, *c, *scaleFlag)
 		if err != nil {
 			fatal(err)
 		}
@@ -164,8 +174,10 @@ func cellFor(i int, scale string) serve.RunRequest {
 }
 
 // measure drives n requests through c concurrent clients and collects
-// the report.
-func measure(cl *client.Client, n, c int, scale string) (report, error) {
+// the report. Cancelling ctx (SIGINT) stops the feed and aborts any
+// in-progress backoff sleep; measure then returns the context error
+// instead of a half-measured report.
+func measure(ctx context.Context, cl *client.Client, n, c int, scale string) (report, error) {
 	var rejected, errCount atomic.Int64
 	var retryWait atomic.Int64 // summed 429 Retry-After sleeps, in ns
 	latencies := make([]time.Duration, n)
@@ -190,7 +202,9 @@ func measure(cl *client.Client, n, c int, scale string) (report, error) {
 					if errors.As(err, &busy) {
 						rejected.Add(1)
 						retryWait.Add(int64(busy.RetryAfter))
-						time.Sleep(busy.RetryAfter)
+						if !sleepCtx(ctx, busy.RetryAfter) {
+							break
+						}
 						continue
 					}
 					if err == nil && json.Valid(res.Body) {
@@ -208,11 +222,19 @@ func measure(cl *client.Client, n, c int, scale string) (report, error) {
 			}
 		}()
 	}
+feed:
 	for i := 0; i < n; i++ {
-		work <- i
+		select {
+		case work <- i:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(work)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return report{}, fmt.Errorf("interrupted: %w", err)
+	}
 	wall := time.Since(start)
 
 	var okLat, okTTFB, okCompute []float64
@@ -264,8 +286,26 @@ func quantile(sorted []float64, q float64) float64 {
 	return sorted[i]
 }
 
+// sleepCtx sleeps for d unless ctx is cancelled first, reporting
+// whether the full sleep elapsed. The 429 retry path uses it so a
+// signal interrupts a backoff immediately instead of after the server's
+// full Retry-After hint.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
 // runCheck is bench-guard mode: self-measure and compare to baseline.
-func runCheck(path string, n, c int, scale string) {
+func runCheck(ctx context.Context, path string, n, c int, scale string) {
 	base, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
 		fmt.Printf("rockload: no baseline at %s; skipping guard (run `make bench` to record one)\n", path)
@@ -288,7 +328,7 @@ func runCheck(path string, n, c int, scale string) {
 		fatal(err)
 	}
 	defer shutdown()
-	got, err := measure(&client.Client{Base: baseURL}, n, c, scale)
+	got, err := measure(ctx, &client.Client{Base: baseURL}, n, c, scale)
 	if err != nil {
 		fatal(err)
 	}

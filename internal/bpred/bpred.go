@@ -6,6 +6,8 @@
 // rollback, so predictor quality directly bounds speculation depth.
 package bpred
 
+import "fmt"
+
 // Config sizes the predictor structures.
 type Config struct {
 	// GshareBits is log2 of the pattern history table size.
@@ -78,6 +80,31 @@ func New(cfg Config) *Predictor {
 
 // Config returns the predictor configuration.
 func (p *Predictor) Config() Config { return p.cfg }
+
+// Fingerprint canonically encodes the predictor sizing for run-cache
+// keys, field by field (see sim.Options.Fingerprint).
+func (c Config) Fingerprint() string {
+	return fmt.Sprintf("bpred{gshare=%d btb=%d ras=%d}", c.GshareBits, c.BTBEntries, c.RASDepth)
+}
+
+// Reset returns the predictor to its freshly constructed state without
+// reallocating: PHT counters back to weakly taken, history cleared, BTB
+// and RAS emptied, statistics zeroed. Part of the pooled-simulator
+// reset path (see sim.Instance).
+func (p *Predictor) Reset() {
+	for i := range p.pht {
+		p.pht[i] = 2
+	}
+	p.ghr = 0
+	for i := range p.btb {
+		p.btb[i] = btbEntry{}
+	}
+	for i := range p.ras {
+		p.ras[i] = 0
+	}
+	p.rasSP = 0
+	p.Stats = Stats{}
+}
 
 func (p *Predictor) phtIndex(pc uint64) uint64 {
 	mask := uint64(len(p.pht) - 1)

@@ -166,6 +166,19 @@ func NewMachine(m *mem.Sparse, hcfg mem.HierConfig, pcfg bpred.Config) (*Machine
 	return &Machine{Mem: m, Hier: h, CoreID: 0, Pred: bpred.New(pcfg)}, nil
 }
 
+// Reset returns the machine's shared structures — functional memory,
+// timing hierarchy and branch predictor — to their freshly constructed
+// state in place, as the first step of reusing a pooled simulator (see
+// sim.Instance). Core models reset themselves on top via their own
+// Reset methods.
+func (m *Machine) Reset() {
+	m.Mem.Reset()
+	m.Hier.Reset()
+	if m.Pred != nil {
+		m.Pred.Reset()
+	}
+}
+
 // StoreVisible publishes a committed store for coherence purposes.
 func (m *Machine) StoreVisible(addr uint64) {
 	if m.Coherent {

@@ -58,6 +58,22 @@ func NewFrontend(m *Machine, entry uint64) *Frontend {
 // PC returns the address of the next instruction to deliver.
 func (f *Frontend) PC() uint64 { return f.pc }
 
+// Reset returns the frontend to a freshly constructed state beginning at
+// entry: fetch point, redirect bubble and fetch buffer cleared. The
+// decoded-instruction memo is deliberately kept — every hit revalidates
+// against the freshly read word and decoding is pure, so stale entries
+// can never change an outcome, only save wall clock across pooled runs.
+// The cached page pointer is dropped (the next fetch re-resolves it).
+func (f *Frontend) Reset(entry uint64) {
+	f.pc = entry
+	f.stallUntil = 0
+	f.lineAddr = 0
+	f.lineReady = 0
+	f.haveLine = false
+	f.page = nil
+	f.pageNum = 0
+}
+
 // Redirect steers fetch to target, inserting penalty bubble cycles
 // starting at cycle now. Used for taken branches, mispredictions and
 // speculation rollbacks.

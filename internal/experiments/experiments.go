@@ -131,6 +131,12 @@ type Runner struct {
 	// counts requests that had to compute. Read via CacheStats.
 	hits, misses uint64
 
+	// pool recycles fully constructed simulators across cache misses,
+	// keyed by (kind, options shape); see pool.go. Cache misses that
+	// share a machine shape skip the whole construction cost and only
+	// pay for a reset.
+	pool simPool
+
 	// computeFn, when non-nil, replaces the compute function for cache
 	// fills. Test seam: the retry/singleflight tests inject counting and
 	// panicking computes without needing a crashing simulator.
@@ -347,7 +353,7 @@ func (r *Runner) runCtx(ctx context.Context, k sim.Kind, spec *workload.Spec, op
 	ls.SetAttr("hit", "false")
 	ls.End()
 	if fn == nil {
-		fn = compute
+		fn = r.compute
 	}
 	// The compute outlives the requester's cancellation scope:
 	// singleflight sharers depend on this fill, so a disconnecting
@@ -408,25 +414,6 @@ func (r *Runner) CacheStats() (hits, misses uint64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.hits, r.misses
-}
-
-// compute runs one simulation cell, converting a panic inside the model
-// into an attributed error. Recovering here (not just in the worker
-// pool) guarantees the cache entry's done channel closes even when the
-// simulator crashes — a panicking cell must never deadlock the
-// singleflight sharers blocked on it.
-func compute(ctx context.Context, k sim.Kind, spec *workload.Spec, opts sim.Options) (out sim.Outcome, err error) {
-	defer func() {
-		if v := recover(); v != nil {
-			err = fmt.Errorf("experiments: %v on %s: %w", k, spec.Name,
-				&PanicError{Value: v, Stack: debug.Stack()})
-		}
-	}()
-	out, err = sim.RunContext(ctx, k, spec.Program, opts)
-	if err != nil {
-		err = fmt.Errorf("experiments: %v on %s: %w", k, spec.Name, err)
-	}
-	return out, err
 }
 
 // All lists every experiment id in presentation order.

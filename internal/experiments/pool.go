@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+	"sync"
+
+	"rocksim/internal/sim"
+	"rocksim/internal/workload"
+)
+
+// simPool hands out reusable sim.Instances keyed by (kind, options
+// shape): the full machine — functional memory, cache hierarchy,
+// branch predictor, core model — is constructed once per shape and
+// reset between runs, instead of reallocated per run (~8.6k allocations
+// each). Shapes are keyed by sim.PoolKey, which covers exactly the
+// construction-affecting options; per-run options (program, watchdogs,
+// faults, observability) are applied by Instance.Run, so two cells
+// differing only in those share one pool. Each sync.Pool entry is used
+// by one run at a time; under memory pressure the GC reclaims idle
+// instances, which is the correct behavior for a cache of
+// reconstructible machines.
+type simPool struct {
+	mu    sync.Mutex
+	pools map[string]*sync.Pool
+
+	// reused counts runs served by a recycled instance; built counts
+	// instance constructions. Read via Runner.PoolStats.
+	reused, built uint64
+}
+
+// get returns a ready instance for the cell's shape: a recycled one
+// when the pool has one idle, a freshly built one otherwise.
+func (p *simPool) get(k sim.Kind, opts sim.Options) (*sim.Instance, error) {
+	key := sim.PoolKey(k, opts)
+	p.mu.Lock()
+	if p.pools == nil {
+		p.pools = make(map[string]*sync.Pool)
+	}
+	sp := p.pools[key]
+	if sp == nil {
+		sp = &sync.Pool{}
+		p.pools[key] = sp
+	}
+	p.mu.Unlock()
+	if in, _ := sp.Get().(*sim.Instance); in != nil {
+		p.mu.Lock()
+		p.reused++
+		p.mu.Unlock()
+		return in, nil
+	}
+	in, err := sim.NewInstance(k, opts)
+	if err == nil {
+		p.mu.Lock()
+		p.built++
+		p.mu.Unlock()
+	}
+	return in, err
+}
+
+// put returns an instance to its shape's pool after a successful (or
+// cleanly errored) run. Callers must NOT put back an instance whose run
+// panicked: a panic can leave the machine in an arbitrary state, and
+// the pool's contract is that every instance it hands out is
+// indistinguishable from freshly built. compute enforces this by
+// putting only on the non-panic path.
+func (p *simPool) put(k sim.Kind, opts sim.Options, in *sim.Instance) {
+	p.mu.Lock()
+	sp := p.pools[sim.PoolKey(k, opts)]
+	p.mu.Unlock()
+	if sp != nil {
+		sp.Put(in)
+	}
+}
+
+// PoolStats reports simulator-pool traffic since the Runner was
+// created: reused (runs served by a recycled instance) and built
+// (instance constructions).
+func (r *Runner) PoolStats() (reused, built uint64) {
+	r.pool.mu.Lock()
+	defer r.pool.mu.Unlock()
+	return r.pool.reused, r.pool.built
+}
+
+// compute runs one simulation cell on a pooled instance, converting a
+// panic inside the model into an attributed error. Recovering here (not
+// just in the worker pool) guarantees the cache entry's done channel
+// closes even when the simulator crashes — a panicking cell must never
+// deadlock the singleflight sharers blocked on it. A panicked instance
+// is dropped, never pooled; a run that merely errored (watchdog trip)
+// is fully cleared by the next Reset and goes back.
+//
+// Instance.Run returns a detached outcome — stats-only copies of the
+// core and hierarchy — so the run cache and its consumers (reports,
+// registries, the service layer) hold exact frozen figures while the
+// live instance is reset and reused.
+func (r *Runner) compute(ctx context.Context, k sim.Kind, spec *workload.Spec, opts sim.Options) (out sim.Outcome, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = fmt.Errorf("experiments: %v on %s: %w", k, spec.Name,
+				&PanicError{Value: v, Stack: debug.Stack()})
+		}
+	}()
+	in, err := r.pool.get(k, opts)
+	if err != nil {
+		return sim.Outcome{}, fmt.Errorf("experiments: %v on %s: %w", k, spec.Name, err)
+	}
+	out, err = in.Run(ctx, spec.Program, opts)
+	r.pool.put(k, opts, in)
+	if err != nil {
+		err = fmt.Errorf("experiments: %v on %s: %w", k, spec.Name, err)
+	}
+	return out, err
+}

@@ -1,0 +1,53 @@
+package inorder
+
+import (
+	"fmt"
+
+	"rocksim/internal/isa"
+)
+
+// Fingerprint canonically encodes the in-order configuration for
+// run-cache keys, field by field (see sim.Options.Fingerprint).
+func (c Config) Fingerprint() string {
+	return fmt.Sprintf("inorder{width=%d loads=%d sb=%d taken=%d mispred=%d}",
+		c.Width, c.MaxOutstandingLoads, c.StoreBufferSize, c.TakenPenalty, c.MispredictPenalty)
+}
+
+// Reset returns the core to its freshly constructed state, executing
+// from entry, without reallocating: registers, scoreboard, load/store
+// queues, clock, statistics and fast-forward state all cleared. The
+// caller resets the shared machine (memory, hierarchy, predictor)
+// separately — see cpu.Machine.Reset — and reinstalls per-run sinks
+// afterwards, since a fresh core carries none.
+func (c *Core) Reset(entry uint64) {
+	c.fe.Reset(entry)
+	c.regs = [isa.NumRegs]int64{}
+	c.readyAt = [isa.NumRegs]uint64{}
+	c.loadsInFlight = c.loadsInFlight[:0]
+	c.storeBuf = c.storeBuf[:0]
+	c.cycle = 0
+	c.done = false
+	c.err = nil
+	c.stats = Stats{}
+	c.sink = nil
+	c.occ = [2]int{}
+	c.ffNext = 0
+	c.ffStall = StallNone
+	c.ffMLP = 0
+}
+
+// Detach returns a frozen stats-only copy of the core in the same *Core
+// shape, safe to hand to long-lived consumers (reports, cached
+// outcomes) while the live core is reset and reused by the pool. Stats
+// accessors (Base, Stats, Regs, Cycle, Retired, Done, Err, PublishObs)
+// work on a detached core; Step must not be called on one.
+func (c *Core) Detach() *Core {
+	return &Core{
+		cfg:   c.cfg,
+		regs:  c.regs,
+		cycle: c.cycle,
+		done:  c.done,
+		err:   c.err,
+		stats: c.stats,
+	}
+}

@@ -1,0 +1,50 @@
+package mem
+
+// Detach returns a frozen, self-contained snapshot of the hierarchy's
+// statistics in the same *Hierarchy shape: configuration, per-level
+// cache/TLB/DRAM counters, hierarchy-wide stats and cloned miss-latency
+// histograms. The snapshot shares no mutable state with the live
+// hierarchy, so a pooled simulator can hand it to long-lived consumers
+// (reports, cached outcomes, published registries) and then reset and
+// reuse the live structures. Only the statistics surface is carried:
+// accessors like L1D(i).Stats, L2(), DRAM(), DTLB(i), the latency
+// histograms and PublishObs work on a detached hierarchy; timing entry
+// points (Access et al.) must not be called on one.
+func (h *Hierarchy) Detach() *Hierarchy {
+	d := &Hierarchy{
+		cfg:    h.cfg,
+		l2:     h.l2.detach(),
+		l2mshr: h.l2mshr.detach(),
+		dram:   &DRAM{cfg: h.dram.cfg, lineBits: h.dram.lineBits, Stats: h.dram.Stats},
+		Stats:  h.Stats,
+		latD:   h.latD.Clone(),
+		latI:   h.latI.Clone(),
+	}
+	d.cores = make([]corePorts, len(h.cores))
+	for i := range h.cores {
+		p := &h.cores[i]
+		d.cores[i] = corePorts{
+			l1i:   p.l1i.detach(),
+			l1d:   p.l1d.detach(),
+			mshrI: p.mshrI.detach(),
+			mshrD: p.mshrD.detach(),
+		}
+		if p.stride != nil {
+			d.cores[i].stride = &stridePrefetcher{cfg: p.stride.cfg, Trained: p.stride.Trained, Issued: p.stride.Issued}
+		}
+		if p.dtlb != nil {
+			d.cores[i].dtlb = &TLB{cfg: p.dtlb.cfg, mask: p.dtlb.mask, Stats: p.dtlb.Stats}
+		}
+	}
+	return d
+}
+
+// detach returns a stats-only copy of the cache (no tag array).
+func (c *Cache) detach() *Cache {
+	return &Cache{cfg: c.cfg, setShift: c.setShift, setMask: c.setMask, Stats: c.Stats}
+}
+
+// detach returns a stats-only copy of the MSHR file (no entries).
+func (m *MSHR) detach() *MSHR {
+	return &MSHR{cap: m.cap, Merges: m.Merges, FullStalls: m.FullStalls}
+}

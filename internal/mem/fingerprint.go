@@ -1,0 +1,41 @@
+package mem
+
+import "fmt"
+
+// Fingerprint methods render each configuration as an explicit,
+// field-by-field canonical string for run-cache keys (see
+// sim.Options.Fingerprint). Every simulation-affecting field is written
+// by name; none may ever be formatted via %v on the whole struct, which
+// would silently print addresses if a pointer or map field were added.
+// The reflect-based guard tests in internal/sim fail when a field is
+// added to any of these structs without extending its Fingerprint.
+
+// Fingerprint canonically encodes the cache geometry and timing.
+func (c CacheConfig) Fingerprint() string {
+	return fmt.Sprintf("cache{name=%s size=%d ways=%d line=%d hitlat=%d mshrs=%d}",
+		c.Name, c.SizeBytes, c.Ways, c.LineBytes, c.HitLatency, c.MSHRs)
+}
+
+// Fingerprint canonically encodes the DRAM timing model.
+func (c DRAMConfig) Fingerprint() string {
+	return fmt.Sprintf("dram{lat=%d banks=%d busy=%d}", c.Latency, c.Banks, c.BankBusy)
+}
+
+// Fingerprint canonically encodes the TLB configuration.
+func (c TLBConfig) Fingerprint() string {
+	return fmt.Sprintf("tlb{entries=%d ways=%d pagebits=%d misslat=%d}",
+		c.Entries, c.Ways, c.PageBits, c.MissLatency)
+}
+
+// Fingerprint canonically encodes the stride-prefetcher sizing.
+func (c StridePrefetcherConfig) Fingerprint() string {
+	return fmt.Sprintf("stride{entries=%d degree=%d minconf=%d}",
+		c.Entries, c.Degree, c.MinConfidence)
+}
+
+// Fingerprint canonically encodes the whole hierarchy configuration.
+func (c HierConfig) Fingerprint() string {
+	return fmt.Sprintf("hier{l1i=%s l1d=%s l2=%s l2banks=%d %s prefetch=%s %s dtlb=%s}",
+		c.L1I.Fingerprint(), c.L1D.Fingerprint(), c.L2.Fingerprint(), c.L2Banks,
+		c.DRAM.Fingerprint(), c.Prefetch, c.Stride.Fingerprint(), c.DTLB.Fingerprint())
+}

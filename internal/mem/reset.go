@@ -1,0 +1,115 @@
+package mem
+
+// Reset support: every timing component can be returned to its freshly
+// constructed state without reallocating, so a pooled simulator reuses
+// one fully built hierarchy across runs (see sim.Instance). The reset
+// contract is exact — a reset component must be indistinguishable from
+// a new one built with the same configuration; the pooled-vs-fresh
+// differential fuzz in internal/sim holds every component to it.
+
+// Reset clears the cache's tag array, LRU clock and statistics in
+// place.
+func (c *Cache) Reset() {
+	for i := range c.sets {
+		set := c.sets[i]
+		for j := range set {
+			set[j] = cacheLine{}
+		}
+	}
+	c.stamp = 0
+	c.Stats = CacheStats{}
+}
+
+// Reset drops every in-flight fill and clears the statistics, keeping
+// the entry slice's capacity.
+func (m *MSHR) Reset() {
+	m.entries = m.entries[:0]
+	m.minReady = 0
+	m.Merges = 0
+	m.FullStalls = 0
+}
+
+// Reset clears the TLB's entries and statistics in place. Safe on a nil
+// TLB (a disabled DTLB).
+func (t *TLB) Reset() {
+	if t == nil {
+		return
+	}
+	for i := range t.sets {
+		set := t.sets[i]
+		for j := range set {
+			set[j] = tlbEntry{}
+		}
+	}
+	t.stamp = 0
+	t.Stats = TLBStats{}
+}
+
+// Reset clears the DRAM bank timers and statistics.
+func (d *DRAM) Reset() {
+	for i := range d.bankFree {
+		d.bankFree[i] = 0
+	}
+	d.Stats = DRAMStats{}
+}
+
+// Reset clears the prefetcher's training table and counters. Safe on a
+// nil prefetcher (Prefetch != PrefetchStride).
+func (p *stridePrefetcher) Reset() {
+	if p == nil {
+		return
+	}
+	for i := range p.entries {
+		p.entries[i] = strideEntry{}
+	}
+	p.Trained = 0
+	p.Issued = 0
+}
+
+// Reset zeroes every mapped page in place, returning the memory to the
+// all-zero image of a fresh Sparse while keeping the page map and the
+// page-pointer cache warm. Sparse treats an all-zero page exactly like
+// an absent one (see Equal/coveredBy), so a reset memory is functionally
+// identical to NewSparse() — the next program load writes into already
+// allocated pages instead of faulting them in again.
+func (m *Sparse) Reset() {
+	for _, p := range m.pages {
+		*p = [PageSize]byte{}
+	}
+}
+
+// Reset returns the hierarchy to its freshly constructed state: every
+// cache, MSHR, TLB, prefetcher and DRAM model cleared in place, the
+// miss-latency histograms emptied, coherence listeners and salts
+// dropped, and the observability sink and fault injector detached
+// (callers reinstall per-run hooks after Reset, mirroring construction
+// where none are installed yet).
+func (h *Hierarchy) Reset() {
+	for i := range h.cores {
+		p := &h.cores[i]
+		p.l1i.Reset()
+		p.l1d.Reset()
+		p.mshrI.Reset()
+		p.mshrD.Reset()
+		p.stride.Reset()
+		p.dtlb.Reset()
+	}
+	for i := range h.salts {
+		h.salts[i] = 0
+	}
+	for i := range h.listeners {
+		h.listeners[i] = nil
+	}
+	h.l2.Reset()
+	h.l2mshr.Reset()
+	for i := range h.l2BankFree {
+		h.l2BankFree[i] = 0
+	}
+	h.dram.Reset()
+	h.Stats = HierStats{}
+	h.latD.Reset()
+	h.latI.Reset()
+	h.sink = nil
+	h.missNames = nil
+	h.flt = nil
+}

@@ -81,11 +81,7 @@ func (c *Client) post(path string, req any, okStatus ...int) (int, []byte, error
 
 func responseError(resp *http.Response, body []byte) error {
 	if resp.StatusCode == http.StatusTooManyRequests {
-		after := serve.DefaultRetryAfter
-		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
-			after = time.Duration(secs) * time.Second
-		}
-		return &BusyError{RetryAfter: after}
+		return &BusyError{RetryAfter: retryAfter(resp.Header.Get("Retry-After"), time.Now)}
 	}
 	var e struct {
 		Error string `json:"error"`
@@ -95,6 +91,32 @@ func responseError(resp *http.Response, body []byte) error {
 		msg = e.Error
 	}
 	return &StatusError{Code: resp.StatusCode, Message: msg}
+}
+
+// retryAfter parses a Retry-After header per RFC 9110 §10.2.3: either a
+// non-negative decimal number of seconds or an HTTP-date. "0" is a
+// valid, meaningful hint — retry immediately, the queue drained — and
+// must not be rounded up to the default; a date in the past likewise
+// means now. Only an absent or unparsable header falls back to
+// serve.DefaultRetryAfter. now is injected for testing the date arm.
+func retryAfter(h string, now func() time.Time) time.Duration {
+	h = strings.TrimSpace(h)
+	if h == "" {
+		return serve.DefaultRetryAfter
+	}
+	if secs, err := strconv.Atoi(h); err == nil {
+		if secs < 0 {
+			return serve.DefaultRetryAfter
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if at, err := http.ParseTime(h); err == nil {
+		if d := at.Sub(now()); d > 0 {
+			return d
+		}
+		return 0
+	}
+	return serve.DefaultRetryAfter
 }
 
 // Run executes one cell and returns the report JSON exactly as the

@@ -108,3 +108,51 @@ func TestClientBusy(t *testing.T) {
 		t.Errorf("RetryAfter %v, want 7s", be.RetryAfter)
 	}
 }
+
+// TestRetryAfterParsing covers the RFC 9110 header forms the old parser
+// dropped: "0" (retry immediately — previously rounded up to the
+// default), HTTP-dates (previously unparsable, ditto), and past dates
+// (mean now). Absent or garbage headers still fall back to the default.
+func TestRetryAfterParsing(t *testing.T) {
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	clock := func() time.Time { return now }
+	cases := []struct {
+		header string
+		want   time.Duration
+	}{
+		{"", serve.DefaultRetryAfter},
+		{"0", 0},
+		{"1", time.Second},
+		{"30", 30 * time.Second},
+		{"-5", serve.DefaultRetryAfter},
+		{"soon", serve.DefaultRetryAfter},
+		{now.Add(90 * time.Second).Format(http.TimeFormat), 90 * time.Second},
+		{now.Format(http.TimeFormat), 0},
+		{now.Add(-time.Hour).Format(http.TimeFormat), 0},
+		{"  2  ", 2 * time.Second},
+	}
+	for _, c := range cases {
+		if got := retryAfter(c.header, clock); got != c.want {
+			t.Errorf("retryAfter(%q) = %v, want %v", c.header, got, c.want)
+		}
+	}
+}
+
+// TestBusyErrorHonorsRetryAfterZero drives the header path end to end:
+// a 429 carrying "Retry-After: 0" must surface as a zero backoff hint.
+func TestBusyErrorHonorsRetryAfterZero(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "0")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	t.Cleanup(ts.Close)
+	c := &Client{Base: ts.URL}
+	_, err := c.Run(serve.RunRequest{Kind: "inorder", Workload: "chase", Scale: "test"})
+	var busy *BusyError
+	if !errors.As(err, &busy) {
+		t.Fatalf("want BusyError, got %v", err)
+	}
+	if busy.RetryAfter != 0 {
+		t.Errorf("Retry-After: 0 surfaced as %v, want 0", busy.RetryAfter)
+	}
+}

@@ -1,0 +1,222 @@
+package sim
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"rocksim/internal/asm"
+	"rocksim/internal/faults"
+	"rocksim/internal/obs"
+)
+
+// This file is the pooling differential oracle, the Reset-contract
+// counterpart of ffwd_test.go: every observable a run produces — cycle
+// and retire counts, architectural registers, the CPI stack, the
+// exported metrics JSON (counters, histograms, occupancy timelines,
+// injector counts), the Chrome trace bytes and the final memory image —
+// must be byte-identical between a freshly constructed simulator and a
+// pooled Instance that has already executed arbitrary other runs. Any
+// state a model forgets to clear in Reset — a stale NA bit, a warm
+// cache line, a trained predictor entry, a leftover deferred-queue
+// entry — shows up here as a divergence.
+
+// pooledRun executes prog on the (possibly well-used) instance with
+// full observability attached and returns the outcome plus the
+// metrics-JSON and Chrome-trace bytes, mirroring ffRun for the fresh
+// side.
+func pooledRun(t *testing.T, in *Instance, prog *asm.Program, plan *faults.Plan) (Outcome, []byte, []byte) {
+	t.Helper()
+	opts := fuzzFaultOpts()
+	opts.Faults = plan
+	opts.Metrics = obs.NewRegistry()
+	tr := obs.NewTrace()
+	col := obs.NewCollector(tr, opts.Metrics)
+	opts.Sink = col
+	out, err := in.Run(context.Background(), prog, opts)
+	if err != nil {
+		t.Fatalf("pooled %v: %v", in.Kind(), err)
+	}
+	col.Flush(out.Cycles)
+	var mbuf, tbuf bytes.Buffer
+	if err := opts.Metrics.WriteJSON(&mbuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteChrome(&tbuf); err != nil {
+		t.Fatal(err)
+	}
+	return out, mbuf.Bytes(), tbuf.Bytes()
+}
+
+// checkPooledSeed runs one (program, plan) pair on the reused instance
+// and on a fresh machine, and requires every observable to match.
+func checkPooledSeed(t *testing.T, in *Instance, prog *asm.Program, plan *faults.Plan) {
+	t.Helper()
+	k := in.Kind()
+	fresh, fm, ft := ffRun(t, k, prog, plan, false)
+	pooled, pm, pt := pooledRun(t, in, prog, plan)
+	if fresh.Cycles != pooled.Cycles || fresh.Retired != pooled.Retired {
+		t.Errorf("%v: fresh %d cycles/%d retired, pooled %d cycles/%d retired",
+			k, fresh.Cycles, fresh.Retired, pooled.Cycles, pooled.Retired)
+	}
+	if fresh.Regs != pooled.Regs {
+		t.Errorf("%v: architectural registers diverge on a pooled instance", k)
+	}
+	fb, pb := fresh.Core.Base(), pooled.Core.Base()
+	if *fb != *pb {
+		t.Errorf("%v: base stats diverge on a pooled instance:\n fresh  %+v\n pooled %+v", k, *fb, *pb)
+	}
+	checkCPISum(t, k.String()+" pooled", pb)
+	if !fresh.Mem.Equal(in.Mem()) {
+		t.Errorf("%v: final memory diverges on a pooled instance at %#x...",
+			k, fresh.Mem.Diff(in.Mem(), 4))
+	}
+	if pooled.Mem != nil {
+		t.Errorf("%v: pooled outcome leaked the live memory image", k)
+	}
+	if !bytes.Equal(fm, pm) {
+		t.Errorf("%v: metrics JSON diverges on a pooled instance: %s", k, firstDiff(fm, pm))
+	}
+	if !bytes.Equal(ft, pt) {
+		t.Errorf("%v: Chrome trace diverges on a pooled instance: %s", k, firstDiff(ft, pt))
+	}
+}
+
+// TestPooledDifferentialFuzz: one Instance per kind, reused back to
+// back across random programs (including transactions) — every run on
+// the used instance must match a fresh construction. Seed 1 runs twice
+// in a row first, so same-program-same-instance reuse (the service
+// cache-miss storm shape) is covered, not just varied programs.
+func TestPooledDifferentialFuzz(t *testing.T) {
+	n := int64(8)
+	if testing.Short() {
+		n = 3
+	}
+	for _, k := range Kinds {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			t.Parallel()
+			in, err := NewInstance(k, fuzzFaultOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for seed := int64(1); seed <= n; seed++ {
+				prog, err := genProgram(seed, 80)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				checkPooledSeed(t, in, prog, nil)
+				if seed == 1 {
+					checkPooledSeed(t, in, prog, nil)
+				}
+			}
+		})
+	}
+}
+
+// TestPooledFaultDifferential: pooled reuse under random fault plans.
+// The injector is rebuilt per run, so a plan's one-shot events must
+// re-fire identically on a reused machine; leftover injector state or a
+// surviving denied-checkpoint clamp would diverge the trace bytes.
+// This also extends the CPI sum==cycles invariant (checkPooledSeed
+// calls checkCPISum) to pooled, reused simulators under faults.
+func TestPooledFaultDifferential(t *testing.T) {
+	n := int64(6)
+	if testing.Short() {
+		n = 2
+	}
+	for _, k := range Kinds {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			t.Parallel()
+			in, err := NewInstance(k, fuzzFaultOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for seed := int64(1); seed <= n; seed++ {
+				prog, err := genFaultProgram(seed, 70)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				plan := faults.Random(seed, faultHorizon)
+				checkPooledSeed(t, in, prog, plan)
+				// Alternate faulted and clean runs on the same instance:
+				// a clean run right after a faulted one catches injector
+				// state outliving its plan.
+				checkPooledSeed(t, in, prog, nil)
+			}
+		})
+	}
+}
+
+// TestPooledAfterError: a run that trips a watchdog (cycle limit) must
+// leave the instance fully reusable — the next Reset clears everything,
+// and the following run matches a fresh machine exactly.
+func TestPooledAfterError(t *testing.T) {
+	for _, k := range Kinds {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			t.Parallel()
+			in, err := NewInstance(k, fuzzFaultOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := genProgram(2, 80)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := fuzzFaultOpts()
+			opts.MaxCycles = 50 // guaranteed to trip
+			if _, err := in.Run(context.Background(), prog, opts); err == nil {
+				t.Fatal("expected a cycle-limit error")
+			}
+			checkPooledSeed(t, in, prog, nil)
+		})
+	}
+}
+
+// TestPooledDetachedOutcomeIsFrozen: the detached outcome a pooled run
+// returns must keep its figures forever, even after the instance runs
+// something else — the run cache and the service layer hold these
+// outcomes indefinitely.
+func TestPooledDetachedOutcomeIsFrozen(t *testing.T) {
+	in, err := NewInstance(KindSST, fuzzFaultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	progA, err := genProgram(1, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	progB, err := genProgram(5, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outA, ma, _ := pooledRun(t, in, progA, nil)
+	cyclesA, baseA := outA.Cycles, *outA.Core.Base()
+
+	// Overwrite the live machine with a different program.
+	var mb []byte
+	if _, mb2, _ := pooledRun(t, in, progB, nil); true {
+		mb = mb2
+	}
+	if bytes.Equal(ma, mb) {
+		t.Fatal("test needs two programs with different metrics")
+	}
+
+	if outA.Cycles != cyclesA || *outA.Core.Base() != baseA {
+		t.Error("detached outcome mutated by a later run on the same instance")
+	}
+	// Run A's registry — the one the service layer snapshots on a cache
+	// hit — must still serialize to exactly run A's bytes: it holds
+	// cloned histograms and value counters, nothing aliased to the live
+	// (since reused) machine.
+	var again bytes.Buffer
+	if err := outA.Obs.WriteJSON(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again.Bytes(), ma) {
+		t.Errorf("detached registry mutated by a later run on the same instance: %s",
+			firstDiff(ma, again.Bytes()))
+	}
+}

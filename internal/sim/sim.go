@@ -119,18 +119,18 @@ type Options struct {
 // timing. Two Options with equal fingerprints produce identical
 // outcomes on the same program, so harnesses use the fingerprint as a
 // run-cache key.
+// The encoding is explicit, field by field (each config contributes its
+// own Fingerprint method): no pointer addresses, no reflection-derived
+// struct dumps, so the string is stable across process runs and across
+// refactors that merely reorder fields. The observability hooks (Probe,
+// Sink, Metrics) never appear: they observe a run without changing its
+// timing. NoFastForward is likewise excluded — fast-forwarding changes
+// wall-clock speed, never the outcome, so two runs differing only in it
+// share a cache entry.
 func (o Options) Fingerprint() string {
-	o.Probe = nil
-	o.Sink = nil
-	o.Metrics = nil
-	// Fast-forwarding changes wall-clock speed, never the outcome, so two
-	// runs differing only in NoFastForward share a cache entry.
-	o.NoFastForward = false
-	// A *faults.Plan would print as a pointer; substitute its canonical
-	// string, which covers every behavior-affecting field.
-	plan := o.Faults.String()
-	o.Faults = nil
-	return fmt.Sprintf("%+v|faults{%s}", o, plan)
+	return fmt.Sprintf("%s|run{cycles=%d timeout=%d livelock=%d}|faults{%s}",
+		o.ShapeFingerprint(), o.MaxCycles, int64(o.Timeout), o.LivelockWindow,
+		o.Faults.String())
 }
 
 // DefaultMaxCycles bounds runaway simulations.
@@ -268,61 +268,18 @@ func Run(k Kind, prog *asm.Program, opts Options) (Outcome, error) {
 // retirement for a whole window. Fault plans (Options.Faults) are
 // installed on both the core and the memory hierarchy.
 func RunContext(ctx context.Context, k Kind, prog *asm.Program, opts Options) (Outcome, error) {
-	// Request-scoped tracing: when the context carries an obs.Tracer the
-	// whole simulation is one "sim-run" span. Tracing observes the run
-	// without entering Options, so fingerprints and outcomes are
-	// identical with it on or off.
-	ctx, span := obs.StartSpan(ctx, "sim-run")
-	span.SetAttr("kind", k.String())
-	span.SetAttr("program", prog.Desc())
-	defer span.End()
-	m := mem.NewSparse()
-	prog.Load(m)
-	mach, err := cpu.NewMachine(m, opts.Hier, opts.Pred)
+	// A fresh run is a pooled run with pool size zero: build an Instance
+	// and drive the exact execution path a reused one takes (runLive),
+	// so the fresh and pooled flavors cannot drift. The returned outcome
+	// keeps the live structures — callers of Run/RunContext own them.
+	inst, err := NewInstance(k, opts)
 	if err != nil {
 		return Outcome{}, err
 	}
-	mach.Hier.SetSink(opts.Sink)
-	c, err := NewCore(k, mach, opts, prog.Entry)
+	out, err := inst.runLive(ctx, prog, opts)
 	if err != nil {
-		return Outcome{}, err
+		return out, err
 	}
-	var inj *faults.Injector
-	if opts.Faults != nil {
-		// One injector serves both layers so one-shot events and counts
-		// are shared (replacing the per-core one NewCore installed).
-		inj = opts.Faults.New(opts.Sink)
-		if cc, ok := c.(*core.Core); ok {
-			cc.SetFaults(inj)
-		}
-		mach.Hier.SetFaults(inj)
-	}
-	if opts.Timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
-		defer cancel()
-	}
-	runErr := cpu.RunCtx(ctx, c, cpu.RunConfig{
-		MaxCycles:          opts.CycleLimit(),
-		LivelockWindow:     opts.livelockWindow(),
-		DisableFastForward: opts.NoFastForward,
-	})
-	inj.PublishObs(opts.Metrics)
-	if runErr != nil {
-		span.SetAttr("err", runErr.Error())
-		return Outcome{}, fmt.Errorf("sim: %v on %s: %w", k, prog.Desc(), runErr)
-	}
-	span.SetAttr("cycles", fmt.Sprint(c.Cycle()))
-	span.SetAttr("retired", fmt.Sprint(c.Retired()))
-	out := Outcome{
-		Kind:    k,
-		Cycles:  c.Cycle(),
-		Retired: c.Retired(),
-		Core:    c,
-		Mach:    mach,
-		Mem:     m,
-	}
-	out.Regs = coreRegs(c)
 	out.Obs = opts.Metrics
 	out.PublishObs(opts.Metrics)
 	return out, nil

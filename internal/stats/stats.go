@@ -104,6 +104,20 @@ func (h *Hist) Merge(other *Hist) {
 	}
 }
 
+// Reset clears every observation in place — bucket counts, sample
+// count, sum and observed max — without reallocating the bucket slice,
+// so a pooled simulator can reuse its histograms across runs with zero
+// construction cost. A reset histogram is indistinguishable from a
+// freshly constructed one with the same limit.
+func (h *Hist) Reset() {
+	for i := range h.buckets {
+		h.buckets[i] = 0
+	}
+	h.n = 0
+	h.sum = 0
+	h.max = 0
+}
+
 // Clone returns an independent copy of the histogram.
 func (h *Hist) Clone() *Hist {
 	return &Hist{
