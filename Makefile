@@ -3,15 +3,17 @@
 # harness runs simulations on a worker pool, so -race now guards real
 # concurrency), a parallel-determinism smoke that diffs sstbench -j 4
 # against -j 1, the fault-fuzz smoke (fixed seeds, bounded wall-clock)
-# of the speculation-invisibility oracle, a bounded coverage-guided
-# differential fuzz session (fuzz-short), and the rocksimd service
+# of the speculation-invisibility oracle, the leak-fuzz smoke (gadget
+# corpus + fixed seeds through the transient-leakage oracle), a bounded
+# coverage-guided differential fuzz session (fuzz-short), and the
+# rocksimd service
 # smoke (serve-smoke: load, grid byte-identity, SIGTERM drain);
 # determinism re-runs the observability tests twice in one process to
 # prove the exports are byte-stable across map-iteration orders.
 
 GO ?= go
 
-.PHONY: all tier1 tier2 race smoke-parallel fault-fuzz fuzz-short serve-smoke trace-smoke determinism ci bench-overhead golden bench bench-guard profile
+.PHONY: all tier1 tier2 race smoke-parallel fault-fuzz leak-fuzz fuzz-short serve-smoke trace-smoke determinism ci bench-overhead golden bench bench-guard profile
 
 all: tier1
 
@@ -30,6 +32,14 @@ race:
 fault-fuzz:
 	$(GO) test ./internal/sim -run 'TestFaultFuzzSmoke|TestFaultOracleTeeth' -count=1 -timeout 10m
 
+# Transient-leakage smoke: the gadget corpus must leak unmitigated and
+# go clean under the secure modes, and fixed-seed generated programs
+# with secret-tainted data must pass the differential leakage oracle on
+# every core kind (see docs/SECURITY.md). The wider 60-seed sweep runs
+# as TestLeakFuzzNoFalsePositives in the ordinary test suite.
+leak-fuzz:
+	$(GO) test ./internal/sim -run 'TestLeakFuzzSmoke|TestGadgetsLeakUnmitigated|TestGadgetLeakMatrix' -count=1 -timeout 10m
+
 # Prove the -j worker pool changes nothing but wall clock: regenerate
 # every experiment at test scale serially and with 4 workers and
 # require byte-identical tables (only the "regenerated in" wall-clock
@@ -41,7 +51,7 @@ smoke-parallel:
 	diff -u /tmp/sstbench-j1.txt /tmp/sstbench-j4.txt
 	@echo "smoke-parallel: -j 1 and -j 4 output identical"
 
-tier2: race smoke-parallel fault-fuzz fuzz-short serve-smoke trace-smoke bench-guard
+tier2: race smoke-parallel fault-fuzz leak-fuzz fuzz-short serve-smoke trace-smoke bench-guard
 
 # Bounded coverage-guided session of the native differential fuzz
 # target (internal/sim FuzzDifferential): the mutator drives the

@@ -31,6 +31,9 @@ func main() {
 	for _, seg := range prog.Segments {
 		fmt.Printf("segment %#x..%#x (%d bytes)\n", seg.Addr, seg.Addr+uint64(len(seg.Data)), len(seg.Data))
 	}
+	for _, sec := range prog.Secrets {
+		fmt.Printf("secret  %#x..%#x (%d bytes)\n", sec.Addr, sec.Addr+uint64(sec.Len), sec.Len)
+	}
 	// Disassemble the segment containing the entry point.
 	for _, seg := range prog.Segments {
 		if prog.Entry < seg.Addr || prog.Entry >= seg.Addr+uint64(len(seg.Data)) {

@@ -33,7 +33,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiment ids (T1, T2, F1..F16, T3) or 'all'")
+	exp := flag.String("exp", "all", "comma-separated experiment ids (T1, T2, F1..F16, S1, T3) or 'all'")
 	scaleFlag := flag.String("scale", "full", "workload scale: test | full")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "max concurrent simulation runs (1 = serial; output is identical either way)")
 	chart := flag.Bool("chart", false, "also render each figure as ASCII bar charts")

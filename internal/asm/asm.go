@@ -28,6 +28,8 @@ import (
 //	        .byte 7
 //	        .zero 64
 //	        .asciz "hello"
+//	        .secret tbl, 64       ; mark [start, start+len) as secret data
+//	                              ; for the transient-leakage oracle
 //
 // Registers are r0..r31 with aliases zero (r0), ra (r1), sp (r2).
 // Pseudo-instructions: j label; call label; ret; li rd, imm; mv rd, rs.
@@ -58,8 +60,9 @@ type assembler struct {
 	entryLabel string
 
 	// Emission state (both passes; only pass 2 keeps results).
-	insts []isa.Inst
-	segs  []dataSeg
+	insts   []isa.Inst
+	segs    []dataSeg
+	secrets []SecretRegion
 
 	// Cursor.
 	inData  bool
@@ -83,6 +86,7 @@ func (a *assembler) pass(lines []string, first bool) error {
 	a.curSeg = nil
 	a.insts = a.insts[:0]
 	a.segs = a.segs[:0]
+	a.secrets = a.secrets[:0]
 	for ln, raw := range lines {
 		line := stripComment(raw)
 		line = strings.TrimSpace(line)
@@ -233,6 +237,24 @@ func (a *assembler) directive(name, rest string, first bool) error {
 			return err
 		}
 		a.appendData(make([]byte, v))
+		return nil
+	case ".secret":
+		ops := splitOperands(rest)
+		if len(ops) != 2 {
+			return fmt.Errorf(".secret needs start, len")
+		}
+		start, err := a.immValue(ops[0], first)
+		if err != nil {
+			return err
+		}
+		n, err := a.immValue(ops[1], first)
+		if err != nil {
+			return err
+		}
+		if !first && n <= 0 {
+			return fmt.Errorf(".secret length must be positive, got %d", n)
+		}
+		a.secrets = append(a.secrets, SecretRegion{Addr: uint64(start), Len: int(n)})
 		return nil
 	case ".asciz":
 		if !a.inData {
@@ -622,6 +644,9 @@ func (a *assembler) finish() (*Program, error) {
 		if len(s.data) > 0 {
 			b.Data(s.addr, s.data)
 		}
+	}
+	for _, s := range a.secrets {
+		b.Secret(s.Addr, s.Len)
 	}
 	prog, err := b.Finish()
 	if err != nil {

@@ -19,12 +19,24 @@ type Segment struct {
 	Data []byte
 }
 
+// SecretRegion marks a byte range of the program image as holding secret
+// data for the transient-leakage oracle (see sim.CheckTransientLeakage):
+// the oracle asserts that observable microarchitectural state after any
+// rollback is independent of the bytes in these ranges.
+type SecretRegion struct {
+	Addr uint64
+	Len  int
+}
+
 // Program is a loadable RK64 program image: code and data segments plus
 // the entry point and the symbol table.
 type Program struct {
 	Entry    uint64
 	Segments []Segment
 	Symbols  map[string]uint64
+	// Secrets lists byte ranges holding secret data (".secret" directive
+	// or Builder.Secret); the leakage oracle perturbs these ranges.
+	Secrets []SecretRegion
 	// Name optionally identifies the program (e.g. the workload name);
 	// harness errors use it to attribute failures (see Desc).
 	Name string
@@ -76,6 +88,7 @@ type Builder struct {
 	labels   map[string]uint64
 	fixups   []fixup
 	segs     []Segment
+	secrets  []SecretRegion
 	entry    uint64
 	entrySet bool
 	err      error
@@ -234,6 +247,15 @@ func (b *Builder) Data(addr uint64, data []byte) {
 	b.segs = append(b.segs, Segment{Addr: addr, Data: data})
 }
 
+// Secret marks [addr, addr+n) as secret data for the leakage oracle.
+func (b *Builder) Secret(addr uint64, n int) {
+	if n <= 0 {
+		b.fail("secret region at %#x has non-positive length %d", addr, n)
+		return
+	}
+	b.secrets = append(b.secrets, SecretRegion{Addr: addr, Len: n})
+}
+
 // DataLabel defines a symbol for a data address (not a code label).
 func (b *Builder) DataLabel(name string, addr uint64) {
 	if _, dup := b.labels[name]; dup {
@@ -289,7 +311,9 @@ func (b *Builder) Finish() (*Program, error) {
 	for k, v := range b.labels {
 		syms[k] = v
 	}
-	return &Program{Entry: entry, Segments: segs, Symbols: syms}, nil
+	secrets := append([]SecretRegion(nil), b.secrets...)
+	sort.Slice(secrets, func(i, j int) bool { return secrets[i].Addr < secrets[j].Addr })
+	return &Program{Entry: entry, Segments: segs, Symbols: syms, Secrets: secrets}, nil
 }
 
 // NumInsts returns the number of instructions emitted so far.

@@ -168,7 +168,16 @@ func (c *Core) aheadInst(in isa.Inst, pc uint64, now uint64) (cont, redirected b
 
 	case isa.ClassPrefetch:
 		if !anyNA {
-			c.m.Hier.Access(c.m.CoreID, mem.AccPrefetch, uint64(vals[0]+int64(in.Imm)), now)
+			addr := uint64(vals[0] + int64(in.Imm))
+			if c.mode != ModeNormal && c.cfg.SecureDelayOnMiss {
+				// No speculative access may change observable cache state.
+				c.stats.SecurePrefetchDenied++
+			} else {
+				res := c.m.Hier.Access(c.m.CoreID, mem.AccPrefetch, addr, now)
+				if c.mode != ModeNormal {
+					c.noteSpecAccess(addr, seq, res)
+				}
+			}
 		}
 		return true, false
 
@@ -230,11 +239,17 @@ func (c *Core) aheadLoad(in isa.Inst, pc uint64, seq uint64, vals [3]int64, isNA
 		// memory-order gate in replay keeps them in program order.
 		return c.deferToDQ(in, pc, seq, vals, isNA, false, 0), false
 	}
+	if c.mode != ModeNormal && c.secureLoadGate(in, pc, seq, addr, size, now) {
+		return true, false
+	}
 	raw := c.composeLoad(addr, size, seq)
 	v := isa.ExtendLoad(in.Op, raw)
 	res := c.m.Hier.AccessLoad(c.m.CoreID, addr, pc, now)
 	c.stats.Loads++
 	c.stats.CountLoadLevel(res.Level)
+	if c.mode != ModeNormal {
+		c.noteSpecAccess(addr, seq, res)
+	}
 	if c.tx.active {
 		if !c.txTrackLoad(addr, size) {
 			c.txAbort(now)
@@ -366,8 +381,16 @@ func (c *Core) aheadStore(in isa.Inst, pc uint64, seq uint64, vals [3]int64, isN
 		return true, false
 	case ModeScout:
 		if !isNA[0] {
-			// Prefetch the line the store will need; discard the data.
-			c.m.Hier.Access(c.m.CoreID, mem.AccPrefetch, addr, now)
+			if c.cfg.SecureDelayOnMiss || c.cfg.SecureEagerSSBFlush {
+				// Speculative store prefetches are a leakage channel: a
+				// secret-derived address fills a line that survives the
+				// scout-exit rollback.
+				c.stats.SecurePrefetchDenied++
+			} else {
+				// Prefetch the line the store will need; discard the data.
+				res := c.m.Hier.Access(c.m.CoreID, mem.AccPrefetch, addr, now)
+				c.noteSpecAccess(addr, seq, res)
+			}
 		}
 		return true, false
 	default:
@@ -391,8 +414,13 @@ func (c *Core) aheadStore(in isa.Inst, pc uint64, seq uint64, vals [3]int64, isN
 			c.stats.SSBFullStallCycles++
 			return false, false
 		}
-		// Prefetch for the commit-time write.
-		c.m.Hier.Access(c.m.CoreID, mem.AccPrefetch, addr, now)
+		if c.cfg.SecureDelayOnMiss || c.cfg.SecureEagerSSBFlush {
+			c.stats.SecurePrefetchDenied++
+		} else {
+			// Prefetch for the commit-time write.
+			res := c.m.Hier.Access(c.m.CoreID, mem.AccPrefetch, addr, now)
+			c.noteSpecAccess(addr, seq, res)
+		}
 		return true, false
 	}
 }

@@ -109,6 +109,16 @@ func (c *Core) commitEpochs(now uint64) {
 			}
 		}
 		c.readSet = rs
+		if len(c.specFills) > 0 {
+			// Committed fills are architectural, not leaked residue.
+			sf := c.specFills[:0]
+			for _, s := range c.specFills {
+				if s >= boundary {
+					sf = append(sf, s)
+				}
+			}
+			c.specFills = sf
+		}
 		c.stats.CkptLife.Add(int(now - c.ckpts[0].takenAt))
 		if c.sink != nil {
 			c.sink.SpanEnd(now, "checkpoint", c.ckpts[0].startSeq)
@@ -215,16 +225,38 @@ func (c *Core) rollback(idx int, now uint64, cause RollbackCause) {
 	c.ssb = ssb
 	pend := c.pend[:0]
 	var pendMin uint64
+	c.secPending = 0
 	for _, p := range c.pend {
 		if p.seq < cut {
 			pend = append(pend, p)
 			if pendMin == 0 || p.ready < pendMin {
 				pendMin = p.ready
 			}
+			if p.blocked || p.quarantined {
+				c.secPending++
+			}
 		}
 	}
 	c.pend = pend
 	c.pendMin = pendMin
+	if len(c.specFills) > 0 {
+		// Count the speculative fills this squash just turned into
+		// attacker-observable residue (leak-oracle accounting; the log is
+		// only populated while secrets are installed).
+		sf := c.specFills[:0]
+		squashed := 0
+		for _, s := range c.specFills {
+			if s < cut {
+				sf = append(sf, s)
+			} else {
+				squashed++
+			}
+		}
+		c.specFills = sf
+		if squashed > 0 {
+			c.m.Hier.NoteSquashedSpecFills(squashed)
+		}
+	}
 
 	c.scoutArmed = false
 	if len(c.ckpts) == 0 {
@@ -255,6 +287,9 @@ func (c *Core) enterScout() {
 	if c.sink != nil {
 		c.sink.Event(c.cycle, "mode", "scout", "deferral impossible: prefetch-only mode")
 	}
+	// Held results can only release at oldest-unresolved, which scout —
+	// whose DQ never replays — may never reach: drop them (see secure.go).
+	c.dropSecureHolds()
 	c.armScoutTrigger()
 }
 

@@ -82,6 +82,29 @@ type Config struct {
 	// RollbackPenalty is the pipeline refill bubble after restoring a
 	// checkpoint.
 	RollbackPenalty uint64
+
+	// Secure-speculation mitigations (see secure.go and
+	// docs/SECURITY.md). Each closes a transient-leakage channel the
+	// sim.CheckTransientLeakage oracle can demonstrate on the unmitigated
+	// core, at a cost charged to a dedicated CPI bucket.
+
+	// SecureDelayOnMiss forbids speculative loads from changing
+	// observable cache state: speculative hits probe without touching
+	// LRU, speculative misses start no fill and hold the load until it
+	// is the oldest unresolved instruction. Speculative prefetches
+	// (store-triggered and software) are suppressed too.
+	SecureDelayOnMiss bool
+	// SecureNoNAForward quarantines every speculative load result: the
+	// fill still issues (keeping the prefetching benefit) but the value
+	// may not forward to consumers until the load is the oldest
+	// unresolved instruction, so no secret-dependent address can form
+	// under speculation.
+	SecureNoNAForward bool
+	// SecureEagerSSBFlush closes the speculative-store channels only:
+	// speculative stores issue no prefetch, and loads may not consume a
+	// speculative store's data (store-to-load forwarding out of the SSB
+	// is held until the load is oldest-unresolved).
+	SecureEagerSSBFlush bool
 }
 
 // DefaultConfig returns the ROCK-like SST core: 2-wide ahead strand,
@@ -243,6 +266,17 @@ type Stats struct {
 	SSBFullStallCycles uint64
 	AtomicStallCycles  uint64
 
+	// Secure-speculation accounting (see secure.go). The StallCycles
+	// counters bump once per cycle in which the named mitigation is
+	// holding a result back; the event counters count the held items.
+	SecureDelayStallCycles uint64 // cycles with a fill-denied load waiting (SecureDelayOnMiss)
+	SecureNoFwdStallCycles uint64 // cycles with a ready-but-quarantined result waiting (SecureNoNAForward)
+	SecureSSBStallCycles   uint64 // cycles with a forwarding-denied load waiting (SecureEagerSSBFlush)
+	SecureBlockedLoads     uint64 // speculative loads denied a fill or SSB forward
+	SecureQuarantined      uint64 // speculative load results quarantined
+	SecureReleases         uint64 // held results released at oldest-unresolved
+	SecurePrefetchDenied   uint64 // speculative prefetches suppressed
+
 	// Tx counts hardware-transactional-memory events (the HTM extension
 	// built on the checkpoint/SSB machinery).
 	Tx TxStats
@@ -301,6 +335,18 @@ type pendingResult struct {
 	rd    uint8
 	val   int64
 	ready uint64
+
+	// Secure-speculation hold state (see secure.go). A blocked entry has
+	// not performed its memory access yet (ready is the secureHold
+	// sentinel); a quarantined entry holds an arrived value that may not
+	// forward to consumers. Both release only once the entry is the
+	// oldest unresolved instruction.
+	op          isa.Op
+	addr        uint64
+	pc          uint64
+	blocked     bool
+	quarantined bool
+	secSSB      bool // blocked by SecureEagerSSBFlush, not SecureDelayOnMiss
 }
 
 // ssbEntry is one speculative store, ordered by seq.
@@ -426,6 +472,16 @@ type Core struct {
 	// CPI-stack attribution of stall cycles. Reset at Step entry.
 	feStall bool
 
+	// secPending counts pend entries currently held by a secure mode
+	// (blocked or quarantined); the per-cycle release scan in secure.go
+	// is gated on it so insecure runs pay nothing.
+	secPending int
+
+	// specFills logs the seq of every speculative access that started a
+	// cache fill while secrets were installed (see secure.go); rollback
+	// counts the squashed suffix into the hierarchy's leak statistics.
+	specFills []uint64
+
 	// Fast-forward state, valid while cycle < ffNext: the last Step was a
 	// pure stall classified as ffKind with the recorded per-cycle stall
 	// and MLP contributions, and nothing can change before ffNext (see
@@ -437,6 +493,9 @@ type Core struct {
 	ffDQStall  uint64
 	ffSSBStall uint64
 	ffAtStall  uint64
+	ffSecDelay uint64
+	ffSecNoFwd uint64
+	ffSecSSB   uint64
 	ffMLP      int
 
 	stats Stats
@@ -522,6 +581,7 @@ func (c *Core) Step() {
 	c.ffNext = 0
 	c.feStall = false
 	dq0, ssb0, at0 := c.stats.DQFullStallCycles, c.stats.SSBFullStallCycles, c.stats.AtomicStallCycles
+	sd0, snf0, sfl0 := c.stats.SecureDelayStallCycles, c.stats.SecureNoFwdStallCycles, c.stats.SecureSSBStallCycles
 	checkStall := c.quiet
 	if checkStall {
 		c.snapInto(&c.snapBuf)
@@ -581,7 +641,7 @@ func (c *Core) Step() {
 	}
 	outstanding := c.m.Hier.OutstandingDataMisses(c.m.CoreID, now)
 	c.stats.SampleMLP(outstanding)
-	bucket := c.classifyBucket(executed, replayed, dq0, ssb0, at0, outstanding)
+	bucket := c.classifyBucket(executed, replayed, dq0, ssb0, at0, sd0, snf0, sfl0, outstanding)
 	c.stats.CPI[bucket]++
 	c.stats.DQOcc.Add(len(c.dq))
 	c.stats.SSBOcc.Add(len(c.ssb))
@@ -602,7 +662,7 @@ func (c *Core) Step() {
 // then by the frontend, defaulting to a scoreboard (dependency) wait.
 // Every input is held constant across a fast-forward window, so SkipTo
 // replays the same attribution in bulk.
-func (c *Core) classifyBucket(executed, replayed int, dq0, ssb0, at0 uint64, outstanding int) cpu.Bucket {
+func (c *Core) classifyBucket(executed, replayed int, dq0, ssb0, at0, sd0, snf0, sfl0 uint64, outstanding int) cpu.Bucket {
 	if executed > 0 || replayed > 0 {
 		return cpu.BktRetire
 	}
@@ -613,6 +673,14 @@ func (c *Core) classifyBucket(executed, replayed int, dq0, ssb0, at0 uint64, out
 		return cpu.BktSSBFull
 	case c.stats.AtomicStallCycles > at0:
 		return cpu.BktAtomic
+	// Secure-mode holds outrank the memory system: a held result is the
+	// proximate blocker even while its (or another) miss is outstanding.
+	case c.stats.SecureDelayStallCycles > sd0:
+		return cpu.BktSecureDelay
+	case c.stats.SecureNoFwdStallCycles > snf0:
+		return cpu.BktSecureNoFwd
+	case c.stats.SecureSSBStallCycles > sfl0:
+		return cpu.BktSecureSSB
 	case outstanding > 0:
 		return cpu.BktMSHR
 	case c.feStall:
@@ -650,14 +718,20 @@ func (c *Core) classifyCycle(executed, replayed int) CycleKind {
 }
 
 // deliver applies pending deferred results whose data has arrived.
+// Entries held by a secure-speculation mode (blocked or quarantined) are
+// exempt from the time-based scan; secureRelease frees them when they
+// become the oldest unresolved instruction.
 func (c *Core) deliver(now uint64) {
+	if c.secPending > 0 {
+		c.secureRelease(now)
+	}
 	if len(c.pend) == 0 || now < c.pendMin {
 		return
 	}
 	live := c.pend[:0]
 	var min uint64
 	for _, p := range c.pend {
-		if p.ready > now {
+		if p.ready > now || p.blocked || p.quarantined {
 			live = append(live, p)
 			if min == 0 || p.ready < min {
 				min = p.ready

@@ -107,11 +107,15 @@ func (c *Core) replayEntry(e *dqEntry, vals [3]int64, now uint64) (rolledBack bo
 		// Optimistic with respect to older unreplayed stores: join the
 		// read set so they can verify against this load.
 		c.readSet = append(c.readSet, readRec{seq: e.seq, addr: addr, size: size})
+		if c.secureReplayLoad(e, addr, size, now) {
+			return false
+		}
 		raw := c.composeLoad(addr, size, e.seq)
 		v := isa.ExtendLoad(in.Op, raw)
 		res := c.m.Hier.AccessLoad(c.m.CoreID, addr, e.pc, now)
 		c.stats.Loads++
 		c.stats.CountLoadLevel(res.Level)
+		c.noteSpecAccess(addr, e.seq, res)
 		if c.isMiss(res, now) {
 			// A dependent miss: becomes a pending result; consumers in
 			// the DQ keep waiting on this seq.
@@ -140,7 +144,14 @@ func (c *Core) replayEntry(e *dqEntry, vals [3]int64, now uint64) (rolledBack bo
 			c.rollback(c.epochOf(e.seq), now, RbSSB)
 			return true
 		}
-		c.m.Hier.Access(c.m.CoreID, mem.AccPrefetch, addr, now)
+		if c.cfg.SecureDelayOnMiss || c.cfg.SecureEagerSSBFlush {
+			// A replayed store's address may be secret-derived: its
+			// prefetch is the classic transmitter. Suppress it.
+			c.stats.SecurePrefetchDenied++
+		} else {
+			res := c.m.Hier.Access(c.m.CoreID, mem.AccPrefetch, addr, now)
+			c.noteSpecAccess(addr, e.seq, res)
+		}
 
 	case isa.ClassBranch:
 		taken := isa.BranchTaken(in.Op, vals[0], vals[1])

@@ -9,11 +9,12 @@ import (
 // Fingerprint canonically encodes the SST configuration for run-cache
 // keys, field by field (see sim.Options.Fingerprint).
 func (c Config) Fingerprint() string {
-	return fmt.Sprintf("sst{width=%d replay=%d ckpts=%d dq=%d ssb=%d strand2=%t scoutdq=%t deferlong=%t longmin=%d ckptmiss=%t ckptbr=%t taken=%d mispred=%d rollback=%d}",
+	return fmt.Sprintf("sst{width=%d replay=%d ckpts=%d dq=%d ssb=%d strand2=%t scoutdq=%t deferlong=%t longmin=%d ckptmiss=%t ckptbr=%t taken=%d mispred=%d rollback=%d secdelay=%t secnofwd=%t secssb=%t}",
 		c.Width, c.ReplayWidth, c.Checkpoints, c.DQSize, c.SSBSize,
 		c.SecondStrand, c.ScoutOnDQFull, c.DeferLongOps, c.LongOpMinLatency,
 		c.CheckpointPerMiss, c.CheckpointOnDeferredBranch,
-		c.TakenPenalty, c.MispredictPenalty, c.RollbackPenalty)
+		c.TakenPenalty, c.MispredictPenalty, c.RollbackPenalty,
+		c.SecureDelayOnMiss, c.SecureNoNAForward, c.SecureEagerSSBFlush)
 }
 
 // Reset returns the core to its freshly constructed state, executing
@@ -66,7 +67,12 @@ func (c *Core) Reset(entry uint64) {
 	c.ffDQStall = 0
 	c.ffSSBStall = 0
 	c.ffAtStall = 0
+	c.ffSecDelay = 0
+	c.ffSecNoFwd = 0
+	c.ffSecSSB = 0
 	c.ffMLP = 0
+	c.secPending = 0
+	c.specFills = c.specFills[:0]
 
 	dq, ssb, ckpt, life := c.stats.DQOcc, c.stats.SSBOcc, c.stats.CkptOcc, c.stats.CkptLife
 	dq.Reset()

@@ -42,6 +42,10 @@ type stepSnap struct {
 	dqStall      uint64
 	ssbStall     uint64
 	atStall      uint64
+	secDelay     uint64
+	secNoFwd     uint64
+	secSSB       uint64
+	secRel       uint64
 }
 
 // snapInto fills s with the Step-entry state. It writes through a
@@ -63,6 +67,10 @@ func (c *Core) snapInto(s *stepSnap) {
 	s.dqStall = c.stats.DQFullStallCycles
 	s.ssbStall = c.stats.SSBFullStallCycles
 	s.atStall = c.stats.AtomicStallCycles
+	s.secDelay = c.stats.SecureDelayStallCycles
+	s.secNoFwd = c.stats.SecureNoFwdStallCycles
+	s.secSSB = c.stats.SecureSSBStallCycles
+	s.secRel = c.stats.SecureReleases
 }
 
 // noteStall runs at the end of Step: if the cycle was a replicable pure
@@ -75,7 +83,10 @@ func (c *Core) noteStall(s *stepSnap, executed, replayed int, kind CycleKind, bu
 		c.stats.CheckpointsTaken != s.ckptsTaken || c.stats.Retired != s.retired ||
 		c.stats.ScoutEntries != s.scoutEntries || c.stats.Tx != s.tx ||
 		c.m.Pred.Stats != s.pred || c.m.Pred.History() != s.ghr ||
-		c.flt.Mutations() != s.fltMut {
+		c.flt.Mutations() != s.fltMut ||
+		// A secure-mode release performs an access or forwards a value —
+		// never replicable, even though the pend length may not change.
+		c.stats.SecureReleases != s.secRel {
 		return
 	}
 	c.ffKind = kind
@@ -83,6 +94,9 @@ func (c *Core) noteStall(s *stepSnap, executed, replayed int, kind CycleKind, bu
 	c.ffDQStall = c.stats.DQFullStallCycles - s.dqStall
 	c.ffSSBStall = c.stats.SSBFullStallCycles - s.ssbStall
 	c.ffAtStall = c.stats.AtomicStallCycles - s.atStall
+	c.ffSecDelay = c.stats.SecureDelayStallCycles - s.secDelay
+	c.ffSecNoFwd = c.stats.SecureNoFwdStallCycles - s.secNoFwd
+	c.ffSecSSB = c.stats.SecureSSBStallCycles - s.secSSB
 	c.ffMLP = outstanding
 	c.ffNext = c.nextTimer(now)
 }
@@ -101,6 +115,11 @@ func (c *Core) nextTimer(now uint64) uint64 {
 	}
 	bound(c.fe.NextDelivery(now))
 	for i := range c.pend {
+		if c.pend[i].blocked {
+			// No arrival time exists yet: the release is event-driven,
+			// and the enabling resolution always breaks stall purity.
+			continue
+		}
 		bound(c.pend[i].ready)
 	}
 	// sbHorizon is a monotonic upper bound on every readyAt value ever
@@ -150,6 +169,9 @@ func (c *Core) SkipTo(target uint64) {
 	c.stats.DQFullStallCycles += c.ffDQStall * n
 	c.stats.SSBFullStallCycles += c.ffSSBStall * n
 	c.stats.AtomicStallCycles += c.ffAtStall * n
+	c.stats.SecureDelayStallCycles += c.ffSecDelay * n
+	c.stats.SecureNoFwdStallCycles += c.ffSecNoFwd * n
+	c.stats.SecureSSBStallCycles += c.ffSecSSB * n
 	if c.ffMLP > 0 {
 		c.stats.MLPSamples += n
 		c.stats.MLPSum += uint64(c.ffMLP) * n

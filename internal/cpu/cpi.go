@@ -49,6 +49,20 @@ const (
 	// sibling hardware thread (SMT interleave only).
 	BktSMTIdle
 
+	// Secure-speculation mitigation stalls (see docs/SECURITY.md). They
+	// must stay before the rollback block: BktRollback0 anchors the
+	// per-cause rollback buckets at the end of the enum.
+
+	// BktSecureDelay is a cycle lost to SecureDelayOnMiss: a speculative
+	// load was blocked from starting a cache fill until non-speculative.
+	BktSecureDelay
+	// BktSecureNoFwd is a cycle lost to SecureNoNAForward: a speculative
+	// load result sat quarantined instead of forwarding to consumers.
+	BktSecureNoFwd
+	// BktSecureSSB is a cycle lost to SecureEagerSSBFlush: a speculative
+	// store was denied its prefetch or its store-to-load forward.
+	BktSecureSSB
+
 	// Rollback buckets: cycles of work discarded by a rollback of each
 	// cause, re-attributed from the buckets they were first counted in.
 	BktRbBranch
@@ -78,6 +92,9 @@ var bucketNames = [NumBuckets]string{
 	"stall/ssb_full",
 	"stall/atomic",
 	"smt_idle",
+	"stall/secure-delay",
+	"stall/secure-nofwd",
+	"stall/secure-ssbflush",
 	"rollback/branch",
 	"rollback/jalr",
 	"rollback/ssb-overflow",

@@ -307,6 +307,12 @@ func cacheKey(k sim.Kind, spec *workload.Spec, opts sim.Options) string {
 		fmt.Fprintf(h, "%#x:", s.Addr)
 		h.Write(s.Data)
 	}
+	// Secret declarations change observable behavior (tainted-access
+	// accounting, digest scoping) without changing a single program byte,
+	// so they are part of the identity.
+	for _, sec := range spec.Program.Secrets {
+		fmt.Fprintf(h, "|sec%#x+%d", sec.Addr, sec.Len)
+	}
 	fmt.Fprintf(h, "|%s", opts.Fingerprint())
 	return fmt.Sprintf("%v|%s|%016x", k, spec.Name, h.Sum64())
 }
@@ -417,7 +423,7 @@ func (r *Runner) CacheStats() (hits, misses uint64) {
 }
 
 // All lists every experiment id in presentation order.
-var All = []string{"T1", "T2", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "F10", "F11", "F12", "F13", "F14", "F15", "F16", "T3"}
+var All = []string{"T1", "T2", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "F10", "F11", "F12", "F13", "F14", "F15", "F16", "S1", "T3"}
 
 // Run dispatches one experiment by id.
 func (r *Runner) Run(id string, scale workload.Scale) (*Result, error) {
@@ -458,6 +464,8 @@ func (r *Runner) Run(id string, scale workload.Scale) (*Result, error) {
 		return r.TLBSensitivity(scale)
 	case "F16":
 		return r.HTMContention(scale)
+	case "S1":
+		return r.SecurityGrid(scale)
 	case "T3":
 		return AreaPowerProxy(), nil
 	}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"rocksim/internal/workload"
+)
+
+// TestSecurityGrid pins the qualitative security claims: the
+// unmitigated SST family leaks the gadget corpus, full mitigation is
+// clean, and mitigations never make a core faster than its unmitigated
+// self (beyond float noise).
+func TestSecurityGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	r := NewRunner()
+	res, err := r.SecurityGrid(workload.ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Errs) > 0 {
+		t.Fatalf("cell errors: %v", res.Errs)
+	}
+	verdict := map[string]map[string]string{} // kind -> mode -> cell
+	for _, row := range res.Tables[0].Rows() {
+		verdict[row[0]] = map[string]string{}
+		for i, mode := range SecureModes {
+			verdict[row[0]][mode] = row[i+1]
+		}
+	}
+	for _, k := range []string{"sst", "sst-big", "sst-ea", "scout"} {
+		if verdict[k]["none"] != "load,store" {
+			t.Errorf("unmitigated %s: verdict %q, want load,store", k, verdict[k]["none"])
+		}
+		for _, mode := range []string{"delay", "nofwd", "all"} {
+			if verdict[k][mode] != "-" {
+				t.Errorf("%s under %s: verdict %q, want clean", k, mode, verdict[k][mode])
+			}
+		}
+		if verdict[k]["ssb"] != "load" {
+			t.Errorf("%s under ssb: verdict %q, want load (ssb closes only the store channel)", k, verdict[k]["ssb"])
+		}
+	}
+	if verdict["inorder"]["none"] != "-" {
+		t.Errorf("inorder leaked: %q", verdict["inorder"]["none"])
+	}
+	if verdict["ooo-small"]["all"] != "load" {
+		t.Errorf("ooo-small under all: verdict %q, want load (no mitigation exists for the OOO baseline)",
+			verdict["ooo-small"]["all"])
+	}
+	for _, row := range res.Tables[1].Rows() {
+		for i, mode := range SecureModes {
+			var rel float64
+			if _, err := fscan(row[i+1], &rel); err != nil {
+				t.Fatalf("cost cell %s/%s = %q: %v", row[0], mode, row[i+1], err)
+			}
+			if rel > 1.001 {
+				t.Errorf("%s under %s: relative IPC %.4f > 1 (mitigation sped the core up?)", row[0], mode, rel)
+			}
+			if rel < 0.05 {
+				t.Errorf("%s under %s: relative IPC %.4f implausibly low", row[0], mode, rel)
+			}
+		}
+	}
+	var sb strings.Builder
+	res.Fprint(&sb)
+	if !strings.Contains(sb.String(), "unmitigated sst leaks 2/2 gadgets; full mitigation leaks 0") {
+		t.Errorf("headline note missing or wrong:\n%s", sb.String())
+	}
+}

@@ -153,6 +153,28 @@ func (c *Cache) Lookup(addr uint64, now uint64, markDirty bool) (ready uint64, h
 	return 0, false
 }
 
+// ProbeAt reports whether addr hits at cycle now and when its data is
+// usable, counting the hit/miss but leaving all observable state — LRU
+// order and the dirty bit — untouched. Secure-speculation modes use it
+// so speculative probes leave no microarchitectural footprint.
+func (c *Cache) ProbeAt(addr uint64, now uint64) (ready uint64, hit bool) {
+	tag := addr >> c.setShift
+	set := c.set(addr)
+	for i := range set {
+		l := &set[i]
+		if l.valid && l.tag == tag {
+			c.Stats.Hits++
+			ready = now + uint64(c.cfg.HitLatency)
+			if l.fillReady > ready {
+				ready = l.fillReady
+			}
+			return ready, true
+		}
+	}
+	c.Stats.Misses++
+	return 0, false
+}
+
 // Probe reports whether addr is present without touching LRU or stats.
 func (c *Cache) Probe(addr uint64) bool {
 	tag := addr >> c.setShift

@@ -96,6 +96,11 @@ type corePorts struct {
 type HierStats struct {
 	CoherenceInvals uint64 // cross-core L1D invalidations
 	Prefetches      uint64 // prefetch fills initiated
+
+	// Transient-leakage accounting (see leak.go / docs/SECURITY.md).
+	TaintedSpecAccesses uint64 // speculative accesses touching secret lines
+	SquashedSpecFills   uint64 // speculative fills discarded by rollbacks (secrets installed)
+	OracleChecks        uint64 // differential digest checks by the leakage oracle
 }
 
 // Hierarchy is the timing model of the memory system for one chip:
@@ -125,6 +130,10 @@ type Hierarchy struct {
 
 	// flt, when set, may jitter access timing (see internal/faults).
 	flt *faults.Injector
+
+	// secretLines marks line addresses holding secret data for the
+	// transient-leakage oracle (see leak.go). nil in ordinary runs.
+	secretLines map[uint64]struct{}
 }
 
 // missLatLimit bounds the miss-latency histograms (cycles); longer
@@ -230,6 +239,9 @@ func (h *Hierarchy) PublishObs(r *obs.Registry) {
 	r.Counter("mem/dram/busy_cycles").Set(h.dram.Stats.BusyCycles)
 	r.Counter("mem/coherence_invals").Set(h.Stats.CoherenceInvals)
 	r.Counter("mem/prefetches").Set(h.Stats.Prefetches)
+	r.Counter("leak/tainted_accesses").Set(h.Stats.TaintedSpecAccesses)
+	r.Counter("leak/squashed_spec_fills").Set(h.Stats.SquashedSpecFills)
+	r.Counter("leak/oracle_checks").Set(h.Stats.OracleChecks)
 	r.PutHist("mem/load_miss_latency", h.latD)
 	r.PutHist("mem/fetch_miss_latency", h.latI)
 }

@@ -112,4 +112,5 @@ func (h *Hierarchy) Reset() {
 	h.sink = nil
 	h.missNames = nil
 	h.flt = nil
+	h.secretLines = nil
 }

@@ -394,19 +394,25 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	w.Write(buf.Bytes())
 }
 
-// publishRunCPI folds a served cell's cycle-accounting stack into the
-// service metrics, so /metrics exposes where the daemon's simulated
-// cycles went across all requests (cached cells count once per serve,
-// matching cells_served).
+// publishRunCPI folds a served cell's cycle-accounting stack and
+// transient-leakage counters into the service metrics, so /metrics
+// exposes where the daemon's simulated cycles went — and how much
+// secret-tainted speculation it executed — across all requests (cached
+// cells count once per serve, matching cells_served).
 func (s *Server) publishRunCPI(out sim.Outcome) {
-	if out.Core == nil {
-		return
-	}
-	b := out.Core.Base()
-	for bk := cpu.Bucket(0); bk < cpu.NumBuckets; bk++ {
-		if b.CPI[bk] > 0 {
-			s.reg.Counter("sim/cpi/" + bk.String()).Add(b.CPI[bk])
+	if out.Core != nil {
+		b := out.Core.Base()
+		for bk := cpu.Bucket(0); bk < cpu.NumBuckets; bk++ {
+			if b.CPI[bk] > 0 {
+				s.reg.Counter("sim/cpi/" + bk.String()).Add(b.CPI[bk])
+			}
 		}
+	}
+	if out.Mach != nil && out.Mach.Hier != nil {
+		hs := out.Mach.Hier.Stats
+		s.reg.Counter("leak/tainted_accesses").Add(hs.TaintedSpecAccesses)
+		s.reg.Counter("leak/squashed_spec_fills").Add(hs.SquashedSpecFills)
+		s.reg.Counter("leak/oracle_checks").Add(hs.OracleChecks)
 	}
 }
 

@@ -111,6 +111,9 @@ func (in *Instance) runLive(ctx context.Context, prog *asm.Program, opts Options
 	defer span.End()
 	in.reset(prog.Entry)
 	prog.Load(in.mem)
+	for _, s := range prog.Secrets {
+		in.mach.Hier.SetSecret(s.Addr, s.Len)
+	}
 	in.mach.Hier.SetSink(opts.Sink)
 	in.installHooks(opts)
 	var inj *faults.Injector

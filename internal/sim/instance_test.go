@@ -175,6 +175,53 @@ func TestPooledAfterError(t *testing.T) {
 	}
 }
 
+// TestPooledSecretDifferential: secret-tainted runs pool safely. The
+// leakage oracle runs its differential pair through the same pooled
+// instance everything else uses, so (a) a pooled oracle must reach the
+// same verdict as a fresh one — leak and clean alike — and (b) an
+// instance that just executed leaking, secret-salted programs must
+// still match a fresh machine byte-for-byte on the next ordinary run.
+// Residue from SetSecret (a surviving secret range or digest salt)
+// would diverge either the verdict or the differential.
+func TestPooledSecretDifferential(t *testing.T) {
+	// The secure modes are construction-affecting (they live in the SST
+	// core config, covered by Options.ShapeFingerprint), so each mode
+	// needs a shape-matched instance — exactly what a PoolKey-keyed pool
+	// provides.
+	for _, k := range []Kind{KindSST, KindScout, KindInOrder} {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			t.Parallel()
+			for _, mode := range []string{"none", "all"} {
+				in, err := NewInstance(k, leakOpts(mode))
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, g := range gadgetFiles {
+					prog := loadGadget(t, g)
+					fresh := CheckTransientLeakage(k, prog, leakOpts(mode))
+					pooled := in.CheckTransientLeakage(context.Background(), prog, leakOpts(mode))
+					if (fresh == nil) != (pooled == nil) ||
+						(fresh != nil && pooled != nil && fresh.Error() != pooled.Error()) {
+						t.Errorf("%s mode=%s: fresh oracle says %v, pooled says %v", g, mode, fresh, pooled)
+					}
+				}
+				if mode != "none" {
+					continue
+				}
+				// The default-shape instance has now run leaking,
+				// secret-tainted programs; an ordinary run on it must
+				// still match a fresh machine byte-for-byte.
+				prog, err := genProgram(3, 80)
+				if err != nil {
+					t.Fatal(err)
+				}
+				checkPooledSeed(t, in, prog, nil)
+			}
+		})
+	}
+}
+
 // TestPooledDetachedOutcomeIsFrozen: the detached outcome a pooled run
 // returns must keep its figures forever, even after the instance runs
 // something else — the run cache and the service layer hold these

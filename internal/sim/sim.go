@@ -251,6 +251,9 @@ func newCore(k Kind, m *cpu.Machine, opts Options, entry uint64) (cpu.Core, erro
 		cfg.TakenPenalty = opts.SST.TakenPenalty
 		cfg.MispredictPenalty = opts.SST.MispredictPenalty
 		cfg.RollbackPenalty = opts.SST.RollbackPenalty
+		cfg.SecureDelayOnMiss = opts.SST.SecureDelayOnMiss
+		cfg.SecureNoNAForward = opts.SST.SecureNoNAForward
+		cfg.SecureEagerSSBFlush = opts.SST.SecureEagerSSBFlush
 		return core.New(m, cfg, entry), nil
 	}
 	return nil, fmt.Errorf("sim: bad core kind %d", k)
