@@ -7,13 +7,15 @@
 # corpus + fixed seeds through the transient-leakage oracle), a bounded
 # coverage-guided differential fuzz session (fuzz-short), and the
 # rocksimd service
-# smoke (serve-smoke: load, grid byte-identity, SIGTERM drain);
+# smoke (serve-smoke: load, grid byte-identity, SIGTERM drain), and the
+# fleet smoke (fleet-smoke: 3 shards behind rockgate, grid
+# byte-identity, loss-free drain of all four processes);
 # determinism re-runs the observability tests twice in one process to
 # prove the exports are byte-stable across map-iteration orders.
 
 GO ?= go
 
-.PHONY: all tier1 tier2 race smoke-parallel fault-fuzz leak-fuzz fuzz-short serve-smoke trace-smoke determinism ci bench-overhead golden bench bench-guard profile
+.PHONY: all tier1 tier2 race smoke-parallel fault-fuzz leak-fuzz fuzz-short serve-smoke fleet-smoke trace-smoke determinism ci bench-overhead golden bench bench-guard profile
 
 all: tier1
 
@@ -51,7 +53,7 @@ smoke-parallel:
 	diff -u /tmp/sstbench-j1.txt /tmp/sstbench-j4.txt
 	@echo "smoke-parallel: -j 1 and -j 4 output identical"
 
-tier2: race smoke-parallel fault-fuzz leak-fuzz fuzz-short serve-smoke trace-smoke bench-guard
+tier2: race smoke-parallel fault-fuzz leak-fuzz fuzz-short serve-smoke fleet-smoke trace-smoke bench-guard
 
 # Bounded coverage-guided session of the native differential fuzz
 # target (internal/sim FuzzDifferential): the mutator drives the
@@ -82,6 +84,35 @@ serve-smoke:
 	trap - EXIT; \
 	echo "serve-smoke: grid byte-identical to sstbench; daemon drained cleanly on SIGTERM"
 
+# Fleet smoke: boot 3 rocksimd shards and a rockgate router in front,
+# prove the gateway's /v1/grid (cells fanned out by cache key, the
+# bespoke F12 routed whole) is byte-identical to sstbench, then SIGTERM
+# all four processes and require clean (exit 0) drains.
+fleet-smoke:
+	$(GO) build -o /tmp/rocksimd-smoke ./cmd/rocksimd
+	$(GO) build -o /tmp/rockgate-smoke ./cmd/rockgate
+	$(GO) build -o /tmp/rockload-smoke ./cmd/rockload
+	$(GO) build -o /tmp/sstbench-smoke ./cmd/sstbench
+	@set -e; \
+	/tmp/rocksimd-smoke -addr 127.0.0.1:8331 -shard-id s0 & p0=$$!; \
+	/tmp/rocksimd-smoke -addr 127.0.0.1:8332 -shard-id s1 & p1=$$!; \
+	/tmp/rocksimd-smoke -addr 127.0.0.1:8333 -shard-id s2 & p2=$$!; \
+	trap 'kill $$p0 $$p1 $$p2 $$pg 2>/dev/null || true' EXIT; \
+	for i in $$(seq 1 50); do \
+		/tmp/rockload-smoke -targets http://127.0.0.1:8331,http://127.0.0.1:8332,http://127.0.0.1:8333 -healthz >/dev/null 2>&1 && break; sleep 0.2; \
+	done; \
+	/tmp/rockgate-smoke -addr 127.0.0.1:8330 -shards http://127.0.0.1:8331,http://127.0.0.1:8332,http://127.0.0.1:8333 & pg=$$!; \
+	for i in $$(seq 1 50); do \
+		/tmp/rockload-smoke -addr http://127.0.0.1:8330 -healthz >/dev/null 2>&1 && break; sleep 0.2; \
+	done; \
+	/tmp/rockload-smoke -addr http://127.0.0.1:8330 -scale test -grid-exps T1,F3,F12 -grid-out /tmp/fleet-grid.txt; \
+	/tmp/sstbench-smoke -scale test -j 1 -exp T1,F3,F12 | grep -v 'regenerated in' > /tmp/fleet-grid-ref.txt; \
+	diff -u /tmp/fleet-grid-ref.txt /tmp/fleet-grid.txt; \
+	kill -TERM $$pg; wait $$pg; \
+	kill -TERM $$p0 $$p1 $$p2; wait $$p0; wait $$p1; wait $$p2; \
+	trap - EXIT; \
+	echo "fleet-smoke: 3-shard grid byte-identical to sstbench; gateway and shards drained cleanly"
+
 # Tracing and cycle-accounting smoke on real tool output (the unit
 # tests cover the libraries; this covers what the binaries write):
 # run a traced single cell and a traced small grid, lint the Chrome
@@ -104,14 +135,18 @@ trace-smoke:
 bench:
 	$(GO) run ./cmd/simthroughput -o BENCH_simthroughput.json
 	$(GO) run ./cmd/rockload -self -n 200 -c 8 -scale test -o BENCH_serve.json
+	$(GO) run ./cmd/rockload -fleet-bench -fleet-sizes 1,2,4 -shard-jobs 1 -n 60 -c 6 -scale test -o BENCH_serve.json
 
 # Fail when any kind runs at <80% of the recorded simcycles/s or
 # allocates >120% of the recorded allocs/op, when a pooled (reused
 # sim.Instance) short-program run exceeds 100 allocs/op — an ABSOLUTE
 # ceiling, independent of the baseline — or falls under 80% of the
 # recorded pooled runs/s, or when the service serves
-# <80% of the recorded req/s (p95 >120% + 5ms also fails); a missing
-# baseline skips the corresponding guard.
+# <80% of the recorded req/s (p95 >120% + 5ms also fails); when the
+# baseline carries a "fleet" section, each recorded fleet size is
+# re-measured and must hold >=80% of its recorded cell throughput and
+# scaling factor with no new popular-cell misses; a missing baseline
+# (or missing fleet section) skips the corresponding guard.
 bench-guard:
 	$(GO) run ./cmd/simthroughput -check BENCH_simthroughput.json
 	$(GO) run ./cmd/rockload -check BENCH_serve.json

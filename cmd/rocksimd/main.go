@@ -41,6 +41,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8321", "listen address")
+	shardID := flag.String("shard-id", "", "name of this daemon within a fleet, echoed by /healthz (empty outside a fleet)")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "max concurrent simulation runs (worker pool)")
 	queue := flag.Int("queue", serve.DefaultQueueDepth, "admission bound: run/grid requests in flight before 429")
 	retryAfter := flag.Duration("retry-after", serve.DefaultRetryAfter, "Retry-After hint on 429 responses")
@@ -68,6 +69,7 @@ func main() {
 		r.SetBaseOptions(opts)
 	}
 	srv := serve.New(serve.Config{
+		ShardID:    *shardID,
 		QueueDepth: *queue,
 		RetryAfter: *retryAfter,
 		Trace:      *trace,

@@ -64,6 +64,7 @@ func (p *PanicError) Error() string { return fmt.Sprintf("panic: %v", p.Value) }
 // place of the number, with the reason classifying the failure.
 func errCell(err error) string {
 	var pe *PanicError
+	var re *RemoteError
 	switch {
 	case errors.Is(err, cpu.ErrLivelock):
 		return "ERR(livelock)"
@@ -72,6 +73,9 @@ func errCell(err error) string {
 	case errors.Is(err, cpu.ErrDeadline):
 		return "ERR(deadline)"
 	case errors.As(err, &pe):
+		return "ERR(panic)"
+	case errors.As(err, &re) && re.Class == ErrClassPanic:
+		// A panic on a remote shard: same cell text as a local panic.
 		return "ERR(panic)"
 	}
 	return "ERR(run-failed)"

@@ -11,13 +11,11 @@ import (
 )
 
 // sstStats extracts the SST statistics block from an outcome (the SST,
-// SST-EA and scout kinds all use the core package).
+// SST-EA and scout kinds all use the core package). Remote cells —
+// computed on another shard, reconstructed from a CellStats snapshot —
+// answer through the same accessor.
 func sstStats(out sim.Outcome) *core.Stats {
-	c, ok := out.Core.(*core.Core)
-	if !ok {
-		return nil
-	}
-	return c.Stats()
+	return out.SSTStats()
 }
 
 // PerfComparison regenerates Figure 1, the headline result: per-thread
@@ -163,7 +161,7 @@ func (r *Runner) MLPComparison(scale workload.Scale) (*Result, error) {
 			if errs[i] != nil {
 				row = append(row, errCell(errs[i]))
 			} else {
-				row = append(row, outs[i].Core.Base().MLP())
+				row = append(row, outs[i].BaseStats().MLP())
 			}
 			i++
 		}

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+
+	"rocksim/internal/cpu"
+	"rocksim/internal/sim"
+	"rocksim/internal/workload"
+)
+
+// This file is the cell-level fan-out seam of the experiment harness:
+// everything a router (cmd/rockgate) needs to compute a grid's cells on
+// remote rocksimd shards while assembling byte-identical tables
+// locally.
+//
+//   - CellKey exposes the content-addressed cache key, so placement on
+//     a consistent-hash ring agrees with every shard's run cache: a
+//     popular cell lands on one shard and is computed once per fleet.
+//   - SetComputeBackend replaces the cache-fill compute function, so a
+//     Runner can delegate cell computation (to a shard, or to a test's
+//     blocking fake) while keeping the cache, singleflight, worker pool
+//     and panic-retry machinery unchanged.
+//   - ErrClass / NewRemoteError round-trip a cell's failure through the
+//     wire so ERR(reason) cells and Errs report lines render exactly as
+//     they would on a single node.
+//   - RemoteSafe classifies which experiments decompose into cache
+//     cells (fan out cell-by-cell) versus run bespoke multi-core
+//     simulations (routed to a shard whole).
+
+// CellKey returns the content-addressed run-cache key of one
+// (kind, workload, options) cell: FNV over the program image, secret
+// declarations and the canonical options fingerprint. The fleet router
+// hashes this key onto the shard ring, so cache placement and request
+// routing agree byte for byte.
+func CellKey(k sim.Kind, spec *workload.Spec, opts sim.Options) string {
+	return cacheKey(k, spec, opts)
+}
+
+// ComputeBackend computes one cell. The default backend simulates
+// locally (through the instance pool); a router installs one that asks
+// the owning shard instead.
+type ComputeBackend func(ctx context.Context, k sim.Kind, spec *workload.Spec, opts sim.Options) (sim.Outcome, error)
+
+// SetComputeBackend replaces the Runner's cache-fill compute function.
+// Cache keying, singleflight deduplication, the worker-pool bound and
+// the bounded panic retry all still apply; only the leaf computation
+// changes. Passing nil restores local simulation.
+func (r *Runner) SetComputeBackend(fn ComputeBackend) {
+	r.mu.Lock()
+	r.computeFn = fn
+	r.mu.Unlock()
+}
+
+// Remote-error classes: the wire form of a failed cell. The class
+// selects the ERR(reason) cell text; the message preserves the origin
+// shard's error string so the report's Errs lines are byte-identical to
+// a single-node run.
+const (
+	ErrClassLivelock   = "livelock"
+	ErrClassCycleLimit = "cycle-limit"
+	ErrClassDeadline   = "deadline"
+	ErrClassPanic      = "panic"
+	ErrClassRunFailed  = "run-failed"
+)
+
+// ErrClass classifies a cell error for the wire, mirroring errCell's
+// taxonomy exactly.
+func ErrClass(err error) string {
+	var pe *PanicError
+	switch {
+	case errors.Is(err, cpu.ErrLivelock):
+		return ErrClassLivelock
+	case errors.Is(err, cpu.ErrCycleLimit):
+		return ErrClassCycleLimit
+	case errors.Is(err, cpu.ErrDeadline):
+		return ErrClassDeadline
+	case errors.As(err, &pe):
+		return ErrClassPanic
+	}
+	return ErrClassRunFailed
+}
+
+// RemoteError is a cell failure reconstructed from its wire form: it
+// renders the origin error's exact message and classifies back into the
+// same ERR(reason) cell as the origin error would.
+type RemoteError struct {
+	Class string
+	Msg   string
+}
+
+// NewRemoteError rebuilds a cell error from its wire class and message.
+func NewRemoteError(class, msg string) *RemoteError {
+	return &RemoteError{Class: class, Msg: msg}
+}
+
+func (e *RemoteError) Error() string { return e.Msg }
+
+// Is maps the wire class back onto the watchdog sentinels, so
+// errors.Is-based rendering (errCell) and status mapping (the 504 path
+// in internal/serve) treat a remote failure like a local one.
+func (e *RemoteError) Is(target error) bool {
+	switch e.Class {
+	case ErrClassLivelock:
+		return target == cpu.ErrLivelock
+	case ErrClassCycleLimit:
+		return target == cpu.ErrCycleLimit
+	case ErrClassDeadline:
+		return target == cpu.ErrDeadline
+	}
+	return false
+}
+
+// remoteSafe lists the experiments whose every simulation goes through
+// the Runner's cell cache (runCells / run), so a router can fan their
+// cells out to shards and assemble the tables itself. The others run
+// bespoke multi-core simulations outside the cell seam — CMP chips
+// (F9, F16), SMT pairs (F12), leakage-oracle sweeps (S1) — and are
+// routed to a shard whole. T1 and T3 run no simulations at all; they
+// are safe anywhere. Misclassifying an experiment here costs only
+// compute placement, never output bytes: the gate byte-identity tests
+// hold either way.
+var remoteSafe = map[string]bool{
+	"T1": true, "T2": true, "T3": true,
+	"F1": true, "F2": true, "F3": true, "F4": true, "F5": true,
+	"F6": true, "F7": true, "F8": true, "F10": true, "F11": true,
+	"F13": true, "F14": true, "F15": true,
+}
+
+// RemoteSafe reports whether experiment id decomposes entirely into
+// cache cells (every simulation flows through the cell seam), making it
+// safe to assemble on a router with a remote compute backend.
+func RemoteSafe(id string) bool { return remoteSafe[id] }

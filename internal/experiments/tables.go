@@ -72,9 +72,9 @@ func (r *Runner) WorkloadTable(scale workload.Scale) (*Result, error) {
 			continue
 		}
 		out := outs[i]
-		b := out.Core.Base()
-		l1 := out.Mach.Hier.L1D(0).Stats
-		l2 := out.Mach.Hier.L2().Stats
+		b := out.BaseStats()
+		l1 := out.L1DStats()
+		l2 := out.L2Stats()
 		t.AddRow(w.Name, w.Class.String(), w.Standin, out.Retired,
 			stats.Pct(b.Loads, out.Retired),
 			stats.Pct(b.Stores, out.Retired),

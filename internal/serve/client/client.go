@@ -7,6 +7,7 @@ package client
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -174,6 +175,42 @@ func (c *Client) RunDetail(req serve.RunRequest) (*RunResult, error) {
 	return res, nil
 }
 
+// Cell computes one fleet-internal cell via POST /v1/cell: complete
+// wire options in, a CellStats snapshot or classified cell error out.
+// The context carries the caller's deadline and cancellation (a grid
+// fan-out cancels its outstanding cells when one shard fails hard).
+// A non-nil error here is a transport- or admission-level problem
+// (connection refused, 429 BusyError, 503 draining); a deterministic
+// simulation failure arrives as a nil error with resp.ErrClass set.
+func (c *Client) Cell(ctx context.Context, req serve.CellRequest) (*serve.CellResponse, error) {
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/v1/cell", bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, responseError(resp, body)
+	}
+	var out serve.CellResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		return nil, fmt.Errorf("bad /v1/cell body: %v", err)
+	}
+	return &out, nil
+}
+
 // Grid regenerates experiments synchronously and returns the text
 // report (byte-identical to sstbench output minus wall-clock lines).
 func (c *Client) Grid(req serve.GridRequest) ([]byte, error) {
@@ -249,6 +286,44 @@ func (c *Client) Healthz() error {
 		return responseError(resp, body)
 	}
 	return nil
+}
+
+// Health is the decoded /healthz body — the shard-level state a fleet
+// router reads on every probe.
+type Health struct {
+	OK           bool   `json:"ok"`
+	Draining     bool   `json:"draining"`
+	ShardID      string `json:"shard_id"`
+	QueueDepth   int    `json:"queue_depth"`
+	QueueLimit   int    `json:"queue_limit"`
+	InflightRuns int64  `json:"inflight_runs"`
+	CacheHits    uint64 `json:"cache_hits"`
+	CacheMisses  uint64 `json:"cache_misses"`
+	PoolReused   uint64 `json:"pool_reused"`
+	PoolBuilt    uint64 `json:"pool_built"`
+}
+
+// Health fetches and decodes /healthz. Unlike Healthz it succeeds on a
+// 503 too — a draining shard still answers, and the body's Draining
+// flag is exactly what a router's lame-duck handling needs.
+func (c *Client) Health() (*Health, error) {
+	resp, err := c.http().Get(c.Base + "/healthz")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+		return nil, responseError(resp, body)
+	}
+	var h Health
+	if err := json.Unmarshal(body, &h); err != nil {
+		return nil, fmt.Errorf("bad /healthz body: %v", err)
+	}
+	return &h, nil
 }
 
 // Metrics scrapes /metrics and returns the plain (unlabelled) samples

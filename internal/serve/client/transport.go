@@ -1,0 +1,55 @@
+package client
+
+import (
+	"net"
+	"net/http"
+	"time"
+)
+
+// Transport defaults, sized for a router fanning a grid out to a
+// handful of shards rather than a browser talking to many origins.
+const (
+	// DefaultMaxPerHost bounds connections per shard. It must be at
+	// least the per-shard request concurrency, or a grid fan-out churns
+	// through ephemeral connections instead of reusing a small pool —
+	// the connection-count regression test pins this.
+	DefaultMaxPerHost = 16
+	// DefaultDialTimeout caps connection establishment. A shard that
+	// cannot even accept within this is down; simulations themselves may
+	// legitimately run much longer, so no response-header timeout is set
+	// here (deadlines ride on the request context instead).
+	DefaultDialTimeout = 2 * time.Second
+	// DefaultIdleTimeout keeps warm connections across a whole benchmark
+	// run but lets an idle fleet's sockets close eventually.
+	DefaultIdleTimeout = 90 * time.Second
+)
+
+// NewTransport returns an http.Transport tuned for shard traffic:
+// keep-alives on, an idle pool per shard at least as large as the
+// per-shard concurrency (maxPerHost <= 0 means DefaultMaxPerHost), a
+// short dial timeout, and no response-header timeout — long simulations
+// are legitimate, and cancellation is the context's job.
+func NewTransport(maxPerHost int) *http.Transport {
+	if maxPerHost <= 0 {
+		maxPerHost = DefaultMaxPerHost
+	}
+	return &http.Transport{
+		Proxy: http.ProxyFromEnvironment,
+		DialContext: (&net.Dialer{
+			Timeout:   DefaultDialTimeout,
+			KeepAlive: 30 * time.Second,
+		}).DialContext,
+		ForceAttemptHTTP2:   true,
+		MaxIdleConns:        4 * maxPerHost,
+		MaxIdleConnsPerHost: maxPerHost,
+		MaxConnsPerHost:     maxPerHost,
+		IdleConnTimeout:     DefaultIdleTimeout,
+		TLSHandshakeTimeout: 5 * time.Second,
+	}
+}
+
+// NewHTTPClient wraps NewTransport in an http.Client with no overall
+// timeout (simulations are long; use request contexts for deadlines).
+func NewHTTPClient(maxPerHost int) *http.Client {
+	return &http.Client{Transport: NewTransport(maxPerHost)}
+}

@@ -9,6 +9,12 @@
 //
 //	POST /v1/run     one (kind, workload, options) cell; the response
 //	                 body is identical to `sstsim -json` for that cell.
+//	POST /v1/cell    the fleet-internal cell endpoint: full wire options
+//	                 in, a CellStats snapshot (or classified cell error)
+//	                 out. Deterministic simulation failures are 200s with
+//	                 an error body — only transport/admission problems
+//	                 use HTTP status — so a router can tell "this cell
+//	                 fails everywhere" from "this shard is unavailable".
 //	POST /v1/grid    one or more experiments; the body is identical to
 //	                 `sstbench` output minus its wall-clock lines.
 //	                 {"async": true} returns 202 with a result id.
@@ -66,6 +72,10 @@ const (
 
 // Config parameterizes a Server.
 type Config struct {
+	// ShardID names this daemon within a fleet (rocksimd -shard-id);
+	// echoed by /healthz so routers and operators can tell shards apart.
+	// Empty outside a fleet.
+	ShardID string
 	// QueueDepth is the admission bound: the maximum number of run/grid
 	// requests in flight at once (executing or queued). 0 means
 	// DefaultQueueDepth.
@@ -96,6 +106,7 @@ type runner interface {
 	Run(id string, scale workload.Scale) (*experiments.Result, error)
 	BaseOptions() sim.Options
 	CacheStats() (hits, misses uint64)
+	PoolStats() (reused, built uint64)
 }
 
 // Server is the rocksimd HTTP handler.
@@ -166,6 +177,7 @@ func newServer(cfg Config, r runner) *Server {
 		s.clock = time.Now
 	}
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
+	s.mux.HandleFunc("POST /v1/cell", s.handleCell)
 	s.mux.HandleFunc("POST /v1/grid", s.handleGrid)
 	s.mux.HandleFunc("GET /v1/result/{id}", s.handleResult)
 	s.mux.HandleFunc("GET /v1/trace/{id}", s.handleTrace)
@@ -416,6 +428,76 @@ func (s *Server) publishRunCPI(out sim.Outcome) {
 	}
 }
 
+// handleCell computes one cell for a fleet router. Admission control,
+// drain behavior, X-Compute-Us and the cancellation path are identical
+// to /v1/run; what differs is the payload: complete options arrive on
+// the wire (no base-option merge, so the router's per-cell overrides
+// survive exactly) and a sim.CellStats snapshot goes back instead of
+// the rendered report. A simulation error that would render as an
+// ERR(reason) cell is returned as a 200 with the class and exact
+// message in the body; the router rebuilds it with
+// experiments.NewRemoteError so the assembled grid is byte-identical
+// to a single-node run.
+func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	s.reg.Counter("serve/cell_requests").Inc()
+	release, ok := s.admit(ctx, w)
+	if !ok {
+		return
+	}
+	defer release()
+
+	var req CellRequest
+	if err := decodeJSON(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	kind, err := sim.KindByName(req.Kind)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	scale, err := parseScale(req.Scale)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	spec, err := workload.Build(req.Workload, scale)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	opts, err := req.Options.Options()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	s.inflight.Add(1)
+	t0 := time.Now()
+	out, err := s.run.RunCellCtx(ctx, kind, spec, opts)
+	computeUs := time.Since(t0).Microseconds()
+	s.inflight.Add(-1)
+	w.Header().Set("X-Compute-Us", strconv.FormatInt(computeUs, 10))
+	w.Header().Set("Content-Type", "application/json")
+	if err != nil {
+		// Deliberately 200: the failure is a property of the cell, not of
+		// this shard, and must not trigger router failover (which would
+		// recompute the same failure elsewhere).
+		s.reg.Counter("serve/cell_errors").Inc()
+		s.log.Warn("cell failed", "id", RequestID(ctx), "kind", req.Kind,
+			"workload", req.Workload, "err", err)
+		json.NewEncoder(w).Encode(CellResponse{
+			ErrClass: experiments.ErrClass(err),
+			ErrMsg:   err.Error(),
+		})
+		return
+	}
+	s.publishRunCPI(out)
+	s.reg.Counter("serve/cells_served").Inc()
+	json.NewEncoder(w).Encode(CellResponse{Cell: sim.SnapshotCell(out)})
+}
+
 func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
 	s.reg.Counter("serve/grid_requests").Inc()
 	release, ok := s.admit(r.Context(), w)
@@ -576,8 +658,11 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	hits, misses := s.run.CacheStats()
+	reused, built := s.run.PoolStats()
 	s.reg.Counter("serve/cache_hits").Set(hits)
 	s.reg.Counter("serve/cache_misses").Set(misses)
+	s.reg.Counter("serve/pool_reused").Set(reused)
+	s.reg.Counter("serve/pool_built").Set(built)
 	s.reg.Gauge("serve/queue_depth").Set(int64(len(s.sem)))
 	s.reg.Gauge("serve/inflight_runs").Set(s.inflight.Load())
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
@@ -589,11 +674,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
+	hits, misses := s.run.CacheStats()
+	reused, built := s.run.PoolStats()
 	body := map[string]any{
 		"ok":            !s.draining.Load(),
 		"draining":      s.draining.Load(),
+		"shard_id":      s.cfg.ShardID,
 		"queue_depth":   len(s.sem),
+		"queue_limit":   s.cfg.QueueDepth,
 		"inflight_runs": s.inflight.Load(),
+		"cache_hits":    hits,
+		"cache_misses":  misses,
+		"pool_reused":   reused,
+		"pool_built":    built,
 	}
 	if s.draining.Load() {
 		w.WriteHeader(http.StatusServiceUnavailable)

@@ -249,6 +249,7 @@ func (f *fakeRunner) Run(id string, scale workload.Scale) (*experiments.Result, 
 
 func (f *fakeRunner) BaseOptions() sim.Options     { return sim.DefaultOptions() }
 func (f *fakeRunner) CacheStats() (uint64, uint64) { return 0, 0 }
+func (f *fakeRunner) PoolStats() (uint64, uint64)  { return 0, 0 }
 
 // TestBackpressure fills the admission queue and proves the next
 // request is refused with 429 and a Retry-After hint rather than

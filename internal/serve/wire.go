@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"rocksim/internal/bpred"
+	"rocksim/internal/core"
+	"rocksim/internal/faults"
+	"rocksim/internal/inorder"
+	"rocksim/internal/mem"
+	"rocksim/internal/ooo"
+	"rocksim/internal/sim"
+)
+
+// WireOptions is the full sim.Options on the wire: every simulation-
+// affecting field, none of the observability hooks (a run is identical
+// with or without them). The fleet router sends a grid cell's complete
+// options to the owning shard through this shape, so per-cell overrides
+// a driver applied (a DQ sweep's sizes, a security mode's switches, a
+// fault plan) survive the hop exactly.
+//
+// Fingerprint is a consistency guard, not data: the sender records
+// opts.Fingerprint() and the receiver recomputes it after decoding.
+// A mismatch means a simulation-affecting field failed to round-trip —
+// a protocol bug that must surface as a hard error, never as a silently
+// different simulation.
+type WireOptions struct {
+	Hier           mem.HierConfig `json:"hier"`
+	Pred           bpred.Config   `json:"pred"`
+	InOrder        inorder.Config `json:"inorder"`
+	OOO            ooo.Config     `json:"ooo"`
+	OOOLg          ooo.Config     `json:"ooo_lg"`
+	SST            core.Config    `json:"sst"`
+	MaxCycles      uint64         `json:"max_cycles,omitempty"`
+	TimeoutNS      int64          `json:"timeout_ns,omitempty"`
+	LivelockWindow uint64         `json:"livelock_window,omitempty"`
+	// Faults is the plan in its canonical grammar (faults.Plan.String);
+	// empty means no plan.
+	Faults        string `json:"faults,omitempty"`
+	NoFastForward bool   `json:"no_fast_forward,omitempty"`
+	Fingerprint   string `json:"fingerprint"`
+}
+
+// WireFromOptions encodes options for the wire, stamping the canonical
+// fingerprint the receiver will verify.
+func WireFromOptions(o sim.Options) WireOptions {
+	return WireOptions{
+		Hier:           o.Hier,
+		Pred:           o.Pred,
+		InOrder:        o.InOrder,
+		OOO:            o.OOO,
+		OOOLg:          o.OOOLg,
+		SST:            o.SST,
+		MaxCycles:      o.MaxCycles,
+		TimeoutNS:      int64(o.Timeout),
+		LivelockWindow: o.LivelockWindow,
+		Faults:         o.Faults.String(),
+		NoFastForward:  o.NoFastForward,
+		Fingerprint:    o.Fingerprint(),
+	}
+}
+
+// Options decodes the wire form and verifies the fingerprint guard.
+func (w WireOptions) Options() (sim.Options, error) {
+	o := sim.Options{
+		Hier:           w.Hier,
+		Pred:           w.Pred,
+		InOrder:        w.InOrder,
+		OOO:            w.OOO,
+		OOOLg:          w.OOOLg,
+		SST:            w.SST,
+		MaxCycles:      w.MaxCycles,
+		Timeout:        time.Duration(w.TimeoutNS),
+		LivelockWindow: w.LivelockWindow,
+		NoFastForward:  w.NoFastForward,
+	}
+	if w.Faults != "" {
+		plan, err := faults.Parse(w.Faults)
+		if err != nil {
+			return o, fmt.Errorf("bad wire fault plan: %v", err)
+		}
+		o.Faults = plan
+	}
+	if got := o.Fingerprint(); got != w.Fingerprint {
+		return o, fmt.Errorf("options fingerprint mismatch after decode: got %q want %q (a simulation-affecting field failed to round-trip)", got, w.Fingerprint)
+	}
+	return o, nil
+}
+
+// CellRequest is the body of POST /v1/cell: one grid cell computed for
+// a fleet router. Unlike /v1/run (which applies sparse overrides to the
+// shard's base options and returns the full report JSON), /v1/cell
+// carries the complete options and returns only the statistics
+// snapshot the router needs for table assembly.
+type CellRequest struct {
+	Kind     string      `json:"kind"`
+	Workload string      `json:"workload"`
+	Scale    string      `json:"scale,omitempty"`
+	Options  WireOptions `json:"options"`
+}
+
+// CellResponse is the body of a 200 from POST /v1/cell. Exactly one of
+// Cell and ErrClass is set: a deterministic simulation failure (a
+// watchdog trip, a model panic) is a RESULT that must render as the
+// same ERR cell on every node, so it rides in the body — only
+// transport- and admission-level problems use HTTP status codes, which
+// is what lets the router distinguish "this cell deterministically
+// fails" (keep the error, byte-identical output) from "this shard is
+// unavailable" (eject and retry on a survivor).
+type CellResponse struct {
+	Cell *sim.CellStats `json:"cell,omitempty"`
+	// ErrClass classifies a failed cell (experiments.ErrClass taxonomy);
+	// ErrMsg preserves the exact error text for the report's Errs lines.
+	ErrClass string `json:"err_class,omitempty"`
+	ErrMsg   string `json:"err_msg,omitempty"`
+}

@@ -187,6 +187,13 @@ type Outcome struct {
 	// Obs is the run's metrics registry (Options.Metrics), when one was
 	// attached; reports embed its snapshot.
 	Obs *obs.Registry
+	// Cell, when non-nil, marks a reconstructed remote-cell view: the
+	// outcome was computed on another rocksimd shard and only its
+	// statistics snapshot crossed the wire (see CellStats). Core, Mach
+	// and Mem are nil on such a view; the table-assembly accessors
+	// (BaseStats, SSTStats, L1DStats, L2Stats, DTLBStats) answer from
+	// the snapshot instead.
+	Cell *CellStats
 }
 
 // IPC returns retired instructions per cycle.

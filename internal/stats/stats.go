@@ -3,6 +3,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -126,6 +127,38 @@ func (h *Hist) Clone() *Hist {
 		sum:     h.sum,
 		max:     h.max,
 	}
+}
+
+// histJSON is the wire shape of a histogram: the full bucket vector
+// plus the derived aggregates, so an unmarshalled histogram answers
+// Mean/Max/Quantile/Count exactly like the original. The fleet tier
+// ships per-cell statistics (which embed histograms) between shards and
+// the rockgate router through this encoding.
+type histJSON struct {
+	Buckets []uint64 `json:"buckets"`
+	N       uint64   `json:"n"`
+	Sum     uint64   `json:"sum"`
+	Max     int      `json:"max"`
+}
+
+// MarshalJSON encodes the histogram losslessly.
+func (h *Hist) MarshalJSON() ([]byte, error) {
+	return json.Marshal(histJSON{Buckets: h.buckets, N: h.n, Sum: h.sum, Max: h.max})
+}
+
+// UnmarshalJSON restores a histogram written by MarshalJSON. The result
+// is observation-identical to the source: same bucket counts, sample
+// count, sum and observed max.
+func (h *Hist) UnmarshalJSON(data []byte) error {
+	var w histJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	if len(w.Buckets) == 0 {
+		w.Buckets = make([]uint64, 2)
+	}
+	h.buckets, h.n, h.sum, h.max = w.Buckets, w.N, w.Sum, w.Max
+	return nil
 }
 
 // Quantile returns the smallest bucket value v such that at least
