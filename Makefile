@@ -15,7 +15,7 @@
 
 GO ?= go
 
-.PHONY: all tier1 tier2 race smoke-parallel fault-fuzz leak-fuzz fuzz-short serve-smoke fleet-smoke trace-smoke determinism ci bench-overhead golden bench bench-guard profile
+.PHONY: all tier1 tier2 race smoke-parallel fault-fuzz leak-fuzz fuzz-short serve-smoke fleet-smoke trace-smoke bpred-grid-smoke determinism ci bench-overhead golden bench bench-guard profile
 
 all: tier1
 
@@ -53,7 +53,7 @@ smoke-parallel:
 	diff -u /tmp/sstbench-j1.txt /tmp/sstbench-j4.txt
 	@echo "smoke-parallel: -j 1 and -j 4 output identical"
 
-tier2: race smoke-parallel fault-fuzz leak-fuzz fuzz-short serve-smoke fleet-smoke trace-smoke bench-guard
+tier2: race smoke-parallel fault-fuzz leak-fuzz fuzz-short serve-smoke fleet-smoke trace-smoke bpred-grid-smoke bench-guard
 
 # Bounded coverage-guided session of the native differential fuzz
 # target (internal/sim FuzzDifferential): the mutator drives the
@@ -112,6 +112,32 @@ fleet-smoke:
 	kill -TERM $$p0 $$p1 $$p2; wait $$p0; wait $$p1; wait $$p2; \
 	trap - EXIT; \
 	echo "fleet-smoke: 3-shard grid byte-identical to sstbench; gateway and shards drained cleanly"
+
+# Predictor-grid smoke: the B1 kind-x-sharing grid must be byte-
+# identical serial vs -j 4 through sstbench, byte-identical again
+# through a rocksimd round-trip, and the daemon must export the bpred/*
+# predictor counters on /metrics once it has served cells.
+bpred-grid-smoke:
+	$(GO) build -o /tmp/sstbench-smoke ./cmd/sstbench
+	$(GO) build -o /tmp/rocksimd-smoke ./cmd/rocksimd
+	$(GO) build -o /tmp/rockload-smoke ./cmd/rockload
+	/tmp/sstbench-smoke -scale test -j 1 -exp B1 | grep -v 'regenerated in' > /tmp/bpred-grid-j1.txt
+	/tmp/sstbench-smoke -scale test -j 4 -exp B1 | grep -v 'regenerated in' > /tmp/bpred-grid-j4.txt
+	diff -u /tmp/bpred-grid-j1.txt /tmp/bpred-grid-j4.txt
+	@set -e; \
+	/tmp/rocksimd-smoke -addr 127.0.0.1:8341 & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true' EXIT; \
+	for i in $$(seq 1 50); do \
+		/tmp/rockload-smoke -addr http://127.0.0.1:8341 -healthz >/dev/null 2>&1 && break; sleep 0.2; \
+	done; \
+	/tmp/rockload-smoke -addr http://127.0.0.1:8341 -scale test -grid-exps B1 -grid-out /tmp/bpred-grid-serve.txt; \
+	diff -u /tmp/bpred-grid-j1.txt /tmp/bpred-grid-serve.txt; \
+	/tmp/rockload-smoke -addr http://127.0.0.1:8341 -n 20 -c 4 -scale test -o /tmp/BENCH_bpred_smoke.json >/dev/null; \
+	curl -sf http://127.0.0.1:8341/metrics | grep -q '^rocksim_bpred_dir_lookups '; \
+	curl -sf http://127.0.0.1:8341/metrics | grep -q '^rocksim_bpred_deferred_dir_trains '; \
+	kill -TERM $$pid; wait $$pid; \
+	trap - EXIT; \
+	echo "bpred-grid-smoke: B1 byte-identical (serial, -j 4, rocksimd); bpred/* counters on /metrics"
 
 # Tracing and cycle-accounting smoke on real tool output (the unit
 # tests cover the libraries; this covers what the binaries write):

@@ -2,6 +2,7 @@ package bpred
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 )
 
@@ -144,5 +145,273 @@ func TestDefaultsApplied(t *testing.T) {
 	p := New(Config{})
 	if p.Config().GshareBits <= 0 || p.Config().BTBEntries <= 0 || p.Config().RASDepth <= 0 {
 		t.Error("zero config not defaulted")
+	}
+}
+
+func TestFoldHistoryDeterministic(t *testing.T) {
+	// Pure function: identical inputs always identical outputs, bounded
+	// by width, and the full-64-bit path folds every bit in.
+	for _, hl := range []int{1, 8, 16, 32, 64} {
+		for _, w := range []int{4, 10, 14} {
+			a := foldHistory(0xdeadbeefcafef00d, hl, w)
+			b := foldHistory(0xdeadbeefcafef00d, hl, w)
+			if a != b {
+				t.Fatalf("fold(hl=%d,w=%d) unstable: %#x vs %#x", hl, w, a, b)
+			}
+			if a >= 1<<uint(w) {
+				t.Fatalf("fold(hl=%d,w=%d) = %#x exceeds width", hl, w, a)
+			}
+		}
+	}
+	// A bit above histLen must not influence the fold; a bit below must.
+	if foldHistory(1<<20, 16, 10) != 0 {
+		t.Error("fold leaked history beyond histLen")
+	}
+	if foldHistory(1<<12, 16, 10) == 0 {
+		t.Error("fold dropped in-window history")
+	}
+}
+
+func tageConfig() Config {
+	c := DefaultConfig()
+	c.Kind = TAGE
+	return c
+}
+
+func TestTageLearnsPattern(t *testing.T) {
+	// Same alternating-pattern check the gshare test does: the tagged
+	// tables must learn it at least as well.
+	p := New(tageConfig())
+	pc := uint64(0x2000)
+	taken := false
+	correct := 0
+	const warm, measure = 200, 200
+	for i := 0; i < warm+measure; i++ {
+		pred := p.PredictDir(pc)
+		if i >= warm && pred == taken {
+			correct++
+		}
+		p.UpdateDir(pc, taken, pred != taken)
+		taken = !taken
+	}
+	if float64(correct)/measure < 0.95 {
+		t.Errorf("pattern accuracy %d/%d, want >95%%", correct, measure)
+	}
+}
+
+func TestTageAllocatesOnMispredict(t *testing.T) {
+	p := New(tageConfig())
+	// pc chosen so its partial tag is nonzero: a zero tag would match the
+	// all-zero fresh tagged entries and make them the provider.
+	pc := uint64(0x7008)
+	// Fresh tables: base bimodal predicts weakly taken, so a not-taken
+	// outcome is a provider mispredict and must claim a tagged entry.
+	pred := p.PredictDir(pc)
+	if !pred {
+		t.Fatal("fresh base bimodal should predict taken")
+	}
+	p.UpdateDir(pc, false, true)
+	if p.Stats.TageAllocs == 0 {
+		t.Fatal("mispredict did not allocate a tagged entry")
+	}
+	// The allocated entry must now provide for the same (pc, history)
+	// context and carry the outcome it was allocated with.
+	p.SetHistory(0)
+	before := p.Stats.TageProviderHits
+	if p.PredictDir(pc) {
+		t.Error("allocated entry did not flip the prediction to not-taken")
+	}
+	if p.Stats.TageProviderHits == before {
+		t.Error("allocated entry is not the provider on re-lookup")
+	}
+}
+
+func TestTageUsefulBitDefense(t *testing.T) {
+	// An entry with u > 0 must not be reallocated: a mispredict that
+	// finds every candidate defended ages them instead.
+	p := New(tageConfig())
+	pc := uint64(0x9000)
+	for ti := range p.t.tage {
+		e := &p.t.tage[ti][p.tageIndex(pc, ti)]
+		e.tag = p.tageTag(pc, ti) + 1 // never matches
+		e.u = 2
+	}
+	p.UpdateDir(pc, false, true) // base mispredicts, all candidates defended
+	if p.Stats.TageAllocs != 0 || p.Stats.TageAllocFails != 1 {
+		t.Fatalf("defended entries were reallocated: allocs=%d fails=%d",
+			p.Stats.TageAllocs, p.Stats.TageAllocFails)
+	}
+	for ti := range p.t.tage {
+		// History shifted on update; recompute old index via tag mismatch:
+		// all touched entries must have aged u 2 -> 1.
+		found := false
+		for i := range p.t.tage[ti] {
+			if p.t.tage[ti][i].u == 1 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("table %d: no aged candidate after failed allocation", ti)
+		}
+	}
+}
+
+func TestTageUsefulBitDecay(t *testing.T) {
+	p := New(tageConfig())
+	sentinel := &p.t.tage[3][777]
+	sentinel.u = 3
+	p.t.updates = tageDecayPeriod - 1
+	p.UpdateDir(0x8000, true, false)
+	if p.Stats.TageDecays != 1 {
+		t.Fatalf("decay sweep did not run: decays=%d", p.Stats.TageDecays)
+	}
+	if sentinel.u != 1 {
+		t.Fatalf("useful bit not halved by decay: u=%d, want 1", sentinel.u)
+	}
+}
+
+func TestTageResolvesGshareAliasingPair(t *testing.T) {
+	// Two (pc, history) contexts crafted to collide in the gshare PHT:
+	// index = (pc>>3) ^ ghr, so ghrB = (pcA>>3) ^ (pcB>>3) makes B alias
+	// A's entry under history. Opposite outcomes thrash the shared 2-bit
+	// counter; TAGE's pc-indexed base and tagged entries keep them apart.
+	pcA, pcB := uint64(0x1000), uint64(0x2000)
+	ghrA := uint64(0)
+	ghrB := (pcA >> 3) ^ (pcB >> 3)
+	run := func(cfg Config) (mis int) {
+		p := New(cfg)
+		if cfg.Kind == Gshare {
+			if p.gshareIndex(pcA) != func() uint64 { p.SetHistory(ghrB); defer p.SetHistory(ghrA); return p.gshareIndex(pcB) }() {
+				t.Fatal("crafted pair does not alias in the gshare PHT")
+			}
+		}
+		for i := 0; i < 200; i++ {
+			p.SetHistory(ghrA)
+			pred := p.PredictDir(pcA)
+			if pred != true {
+				mis++
+			}
+			p.UpdateDir(pcA, true, pred != true)
+			p.SetHistory(ghrB)
+			pred = p.PredictDir(pcB)
+			if pred != false {
+				mis++
+			}
+			p.UpdateDir(pcB, false, pred != false)
+		}
+		return mis
+	}
+	gmis := run(DefaultConfig())
+	tmis := run(tageConfig())
+	if gmis < 100 {
+		t.Fatalf("gshare aliasing pair did not thrash: %d mispredicts", gmis)
+	}
+	if tmis > 10 {
+		t.Fatalf("tage failed to resolve the aliasing pair: %d mispredicts", tmis)
+	}
+}
+
+// trainRandom drives p through a deterministic pseudo-random stream and
+// returns a prediction signature.
+func trainRandom(p *Predictor, seed int64, n int) uint64 {
+	r := rand.New(rand.NewSource(seed))
+	var sig uint64
+	for i := 0; i < n; i++ {
+		pc := uint64(r.Intn(2048)) * 8
+		pred := p.PredictDir(pc)
+		actual := r.Intn(3) > 0
+		p.UpdateDir(pc, actual, pred != actual)
+		if pred {
+			sig = sig*31 + pc
+		}
+	}
+	return sig
+}
+
+func TestResetMatchesFreshTage(t *testing.T) {
+	for _, mode := range []ShareMode{SharePartitioned, ShareShared, ShareHashed} {
+		cfg := tageConfig()
+		cfg.Share = mode
+		used := NewGroup(cfg, 2)
+		for i, p := range used {
+			trainRandom(p, int64(10+i), 4000)
+			p.UpdateTarget(0x100, 0x200)
+			p.PushReturn(0x300)
+		}
+		for _, p := range used {
+			p.Reset()
+		}
+		fresh := NewGroup(cfg, 2)
+		for i := range used {
+			if !reflect.DeepEqual(used[i], fresh[i]) {
+				t.Errorf("share=%v strand %d: reset state differs from fresh", mode, i)
+			}
+			if got, want := trainRandom(used[i], 77, 3000), trainRandom(fresh[i], 77, 3000); got != want {
+				t.Errorf("share=%v strand %d: reset predictor diverges from fresh (%#x vs %#x)", mode, i, got, want)
+			}
+		}
+	}
+}
+
+func TestShareModeSemantics(t *testing.T) {
+	pc := uint64(0x1000)
+	trainNT := func(p *Predictor) {
+		for i := 0; i < 4; i++ {
+			p.UpdateDir(pc, false, p.PredictDir(pc) != false)
+			p.SetHistory(0)
+		}
+	}
+	// Shared: strand 1 benefits from strand 0's training (one table set).
+	cfg := DefaultConfig()
+	cfg.Share = ShareShared
+	g := NewGroup(cfg, 2)
+	if g[0].t != g[1].t {
+		t.Fatal("shared group did not pool tables")
+	}
+	trainNT(g[0])
+	if g[1].PredictDir(pc) {
+		t.Error("shared: strand 1 did not see strand 0's training")
+	}
+	if g[1].Stats.DirLookups != 1 || g[0].Stats.DirLookups != 4 {
+		t.Error("stats are not per-strand")
+	}
+	// Partitioned: strand 1 is fully isolated.
+	cfg.Share = SharePartitioned
+	pg := NewGroup(cfg, 2)
+	if pg[0].t == pg[1].t {
+		t.Fatal("partitioned group pooled tables")
+	}
+	trainNT(pg[0])
+	if !pg[1].PredictDir(pc) {
+		t.Error("partitioned: strand 1 saw strand 0's training")
+	}
+	// Hashed: one table set, strand 0 unsalted, strand 1 remapped so the
+	// same (pc, history) context lands on a different PHT slot.
+	cfg.Share = ShareHashed
+	hg := NewGroup(cfg, 2)
+	if hg[0].t != hg[1].t {
+		t.Fatal("hashed group did not pool tables")
+	}
+	if hg[0].salt != 0 {
+		t.Fatal("strand 0 must salt with zero (single-strand collapse)")
+	}
+	if hg[1].salt == 0 || hg[0].gshareIndex(pc) == hg[1].gshareIndex(pc) {
+		t.Fatal("strand 1's salted index did not remap")
+	}
+	trainNT(hg[0])
+	if !hg[1].PredictDir(pc) {
+		t.Error("hashed: strand 1 aliased onto strand 0's slot")
+	}
+}
+
+func TestDeferredTrainingCounters(t *testing.T) {
+	p := New(DefaultConfig())
+	p.TrainDeferredDir(0x100, true, false)
+	p.TrainDeferredTarget(0x200, 0x300)
+	if p.Stats.DeferredDirTrains != 1 || p.Stats.DeferredTargetTrains != 1 {
+		t.Errorf("deferred counters = %+v", p.Stats)
+	}
+	if tgt, ok := p.PredictTarget(0x200); !ok || tgt != 0x300 {
+		t.Error("deferred target training did not reach the BTB")
 	}
 }

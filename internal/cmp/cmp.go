@@ -43,11 +43,14 @@ func NewPrivate(hcfg mem.HierConfig, pcfg bpred.Config, progs []*asm.Program, bu
 		return nil, err
 	}
 	c := &Chip{Hier: hier}
+	// One predictor group for the chip: pcfg.Share decides whether cores
+	// get private table sets or pool one (see bpred.NewGroup).
+	preds := bpred.NewGroup(pcfg, n)
 	for i, p := range progs {
 		m := mem.NewSparse()
 		p.Load(m)
 		hier.SetAddressSalt(i, uint64(i)<<33)
-		mach := &cpu.Machine{Mem: m, Hier: hier, CoreID: i, Pred: bpred.New(pcfg)}
+		mach := &cpu.Machine{Mem: m, Hier: hier, CoreID: i, Pred: preds[i]}
 		cr, err := build(i, mach, p.Entry)
 		if err != nil {
 			return nil, fmt.Errorf("cmp: core %d: %w", i, err)
@@ -73,8 +76,9 @@ func NewShared(hcfg mem.HierConfig, pcfg bpred.Config, prog *asm.Program, entrie
 	shared := mem.NewSparse()
 	prog.Load(shared)
 	c := &Chip{Hier: hier}
+	preds := bpred.NewGroup(pcfg, n)
 	for i, e := range entries {
-		mach := &cpu.Machine{Mem: shared, Hier: hier, CoreID: i, Pred: bpred.New(pcfg), Coherent: true}
+		mach := &cpu.Machine{Mem: shared, Hier: hier, CoreID: i, Pred: preds[i], Coherent: true}
 		cr, err := build(i, mach, e)
 		if err != nil {
 			return nil, fmt.Errorf("cmp: core %d: %w", i, err)

@@ -156,7 +156,11 @@ func (c *Core) replayEntry(e *dqEntry, vals [3]int64, now uint64) (rolledBack bo
 	case isa.ClassBranch:
 		taken := isa.BranchTaken(in.Op, vals[0], vals[1])
 		mis := taken != e.predTaken
-		c.m.Pred.UpdateDir(e.pc, taken, mis)
+		// Deferred branches train at replay resolution, with the history
+		// the predictor holds NOW — not the fetch-time history (see the
+		// training rule in package bpred). On a mispredict the rollback
+		// below restores the checkpointed fetch-path history afterwards.
+		c.m.Pred.TrainDeferredDir(e.pc, taken, mis)
 		if mis {
 			c.stats.DeferredBranchMispred++
 			c.stats.BranchMispred++
@@ -166,7 +170,7 @@ func (c *Core) replayEntry(e *dqEntry, vals [3]int64, now uint64) (rolledBack bo
 
 	case isa.ClassJump: // deferred jalr target verification
 		target := uint64(vals[0] + int64(in.Imm))
-		c.m.Pred.UpdateTarget(e.pc, target)
+		c.m.Pred.TrainDeferredTarget(e.pc, target)
 		if target != e.predTarget {
 			c.stats.BranchMispred++
 			c.rollback(c.epochOf(e.seq), now, RbJalr)

@@ -427,7 +427,7 @@ func (r *Runner) CacheStats() (hits, misses uint64) {
 }
 
 // All lists every experiment id in presentation order.
-var All = []string{"T1", "T2", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "F10", "F11", "F12", "F13", "F14", "F15", "F16", "S1", "T3"}
+var All = []string{"T1", "T2", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "F10", "F11", "F12", "F13", "F14", "F15", "F16", "S1", "B1", "T3"}
 
 // Run dispatches one experiment by id.
 func (r *Runner) Run(id string, scale workload.Scale) (*Result, error) {
@@ -470,6 +470,8 @@ func (r *Runner) Run(id string, scale workload.Scale) (*Result, error) {
 		return r.HTMContention(scale)
 	case "S1":
 		return r.SecurityGrid(scale)
+	case "B1":
+		return r.BpredGrid(scale)
 	case "T3":
 		return AreaPowerProxy(), nil
 	}

@@ -90,13 +90,16 @@ func runSMTPair(wa, wb *workload.Spec, opts sim.Options) (retA, retB, cycles uin
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	mkThread := func(w *workload.Spec) smt.Thread {
+	// The two hardware strands draw their predictors from one group, so
+	// opts.Pred.Share decides partitioned vs shared vs hashed tables.
+	preds := bpred.NewGroup(opts.Pred, 2)
+	mkThread := func(strand int, w *workload.Spec) smt.Thread {
 		m := mem.NewSparse()
 		w.Program.Load(m)
-		mach := &cpu.Machine{Mem: m, Hier: hier, CoreID: 0, Pred: bpred.New(opts.Pred)}
+		mach := &cpu.Machine{Mem: m, Hier: hier, CoreID: 0, Pred: preds[strand]}
 		return smt.Thread{Core: inorder.New(mach, opts.InOrder, w.Program.Entry), Mach: mach}
 	}
-	core, err := smt.New(mkThread(wa), mkThread(wb))
+	core, err := smt.New(mkThread(0, wa), mkThread(1, wb))
 	if err != nil {
 		return 0, 0, 0, err
 	}

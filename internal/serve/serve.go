@@ -406,11 +406,12 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	w.Write(buf.Bytes())
 }
 
-// publishRunCPI folds a served cell's cycle-accounting stack and
-// transient-leakage counters into the service metrics, so /metrics
-// exposes where the daemon's simulated cycles went — and how much
-// secret-tainted speculation it executed — across all requests (cached
-// cells count once per serve, matching cells_served).
+// publishRunCPI folds a served cell's cycle-accounting stack,
+// transient-leakage counters and branch-predictor counters into the
+// service metrics, so /metrics exposes where the daemon's simulated
+// cycles went — and how much secret-tainted speculation and deferred-
+// branch training it executed — across all requests (cached cells count
+// once per serve, matching cells_served).
 func (s *Server) publishRunCPI(out sim.Outcome) {
 	if out.Core != nil {
 		b := out.Core.Base()
@@ -425,6 +426,17 @@ func (s *Server) publishRunCPI(out sim.Outcome) {
 		s.reg.Counter("leak/tainted_accesses").Add(hs.TaintedSpecAccesses)
 		s.reg.Counter("leak/squashed_spec_fills").Add(hs.SquashedSpecFills)
 		s.reg.Counter("leak/oracle_checks").Add(hs.OracleChecks)
+	}
+	if out.Mach != nil && out.Mach.Pred != nil {
+		ps := out.Mach.Pred.Stats
+		s.reg.Counter("bpred/dir_lookups").Add(ps.DirLookups)
+		s.reg.Counter("bpred/dir_mispredicts").Add(ps.DirMispredict)
+		s.reg.Counter("bpred/btb_lookups").Add(ps.BTBLookups)
+		s.reg.Counter("bpred/btb_misses").Add(ps.BTBMisses)
+		s.reg.Counter("bpred/deferred_dir_trains").Add(ps.DeferredDirTrains)
+		s.reg.Counter("bpred/deferred_target_trains").Add(ps.DeferredTargetTrains)
+		s.reg.Counter("bpred/tage_provider_hits").Add(ps.TageProviderHits)
+		s.reg.Counter("bpred/tage_allocs").Add(ps.TageAllocs)
 	}
 }
 

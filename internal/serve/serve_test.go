@@ -389,6 +389,10 @@ func TestMetricsAndHealth(t *testing.T) {
 		"rocksim_leak_tainted_accesses ",
 		"rocksim_leak_squashed_spec_fills ",
 		"rocksim_leak_oracle_checks ",
+		// Predictor counters fold in per served cell the same way; a
+		// branchy workload always looks up directions.
+		"rocksim_bpred_dir_lookups ",
+		"rocksim_bpred_dir_mispredicts ",
 	} {
 		if !strings.Contains(string(body), want) {
 			t.Errorf("metrics missing %q:\n%s", want, body)

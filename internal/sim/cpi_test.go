@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"rocksim/internal/asm"
+	"rocksim/internal/bpred"
 	"rocksim/internal/cmp"
 	"rocksim/internal/core"
 	"rocksim/internal/cpu"
@@ -128,5 +129,91 @@ func TestCPISumInvariantCMP(t *testing.T) {
 	}
 	for i, c := range chip.Cores {
 		checkCPISum(t, "cmp core "+itoa(i), c.Base())
+	}
+}
+
+// TestCPISumInvariantTage extends the invariant across the predictor
+// plane: TAGE under every share mode on deferred-branch-heavy and
+// branchy workloads, clean and under a random fault plan. Rollbacks
+// triggered by deferred-branch mispredicts (and their history restores)
+// must not leak or drop a cycle from the stack.
+func TestCPISumInvariantTage(t *testing.T) {
+	for _, name := range []string{"brfield", "gcc"} {
+		w, err := workload.Build(name, workload.ScaleTest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, mode := range shareModes {
+			for _, plan := range []*faults.Plan{nil, faults.Random(3, faultHorizon)} {
+				opts := bpredShapeOpts(bpred.TAGE, mode)
+				opts.Faults = plan
+				out, err := Run(KindSST, w.Program, opts)
+				if err != nil {
+					t.Fatalf("%s share=%v faults=%v: %v", name, mode, plan != nil, err)
+				}
+				label := "tage/" + mode.String() + "/" + name
+				if plan != nil {
+					label += "+faults"
+				}
+				checkCPISum(t, label, out.Core.Base())
+			}
+		}
+	}
+}
+
+// TestCPISumInvariantTageSMT: the SMT aggregate stack stays exact when
+// the two strands pool one TAGE table set.
+func TestCPISumInvariantTageSMT(t *testing.T) {
+	wa, err := workload.Build("gcc", workload.ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb, err := workload.Build("brfield", workload.ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := bpredShapeOpts(bpred.TAGE, bpred.ShareShared)
+	c := smtPair(t, wa, wb, opts)
+	if err := cpu.Run(c, opts.CycleLimit()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		b := c.Thread(i).Core.Base()
+		var all uint64
+		for _, v := range b.CPI {
+			all += v
+		}
+		if all != b.Cycles {
+			t.Errorf("thread %d: buckets sum to %d, want %d cycles", i, all, b.Cycles)
+		}
+	}
+	checkCPISum(t, "tage-smt-aggregate", c.Base())
+}
+
+// TestCPISumInvariantTageCMP: per-core stacks stay exact on a chip whose
+// SST cores share one hashed TAGE table set.
+func TestCPISumInvariantTageCMP(t *testing.T) {
+	names := []string{"brfield", "gcc", "loopnest"}
+	var progs []*asm.Program
+	for _, n := range names {
+		w, err := workload.Build(n, workload.ScaleTest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		progs = append(progs, w.Program)
+	}
+	opts := bpredShapeOpts(bpred.TAGE, bpred.ShareHashed)
+	chip, err := cmp.NewPrivate(opts.Hier, opts.Pred, progs,
+		func(id int, m *cpu.Machine, entry uint64) (cpu.Core, error) {
+			return core.New(m, opts.SST, entry), nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := chip.Run(opts.CycleLimit()); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range chip.Cores {
+		checkCPISum(t, "tage cmp core "+itoa(i), c.Base())
 	}
 }

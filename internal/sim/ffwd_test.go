@@ -28,7 +28,13 @@ import (
 // returns the outcome plus the metrics-JSON and Chrome-trace bytes.
 func ffRun(t *testing.T, k Kind, prog *asm.Program, plan *faults.Plan, noFF bool) (Outcome, []byte, []byte) {
 	t.Helper()
-	opts := fuzzFaultOpts()
+	return ffRunWith(t, k, prog, plan, noFF, fuzzFaultOpts())
+}
+
+// ffRunWith is ffRun under caller-chosen base options, so differentials
+// can vary construction-affecting knobs (predictor kind, share mode).
+func ffRunWith(t *testing.T, k Kind, prog *asm.Program, plan *faults.Plan, noFF bool, opts Options) (Outcome, []byte, []byte) {
+	t.Helper()
 	opts.Faults = plan
 	opts.NoFastForward = noFF
 	opts.Metrics = obs.NewRegistry()
@@ -210,13 +216,14 @@ func smtPair(t *testing.T, wa, wb *workload.Spec, opts Options) *smt.Core {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mk := func(w *workload.Spec) smt.Thread {
+	preds := bpred.NewGroup(opts.Pred, 2)
+	mk := func(strand int, w *workload.Spec) smt.Thread {
 		m := mem.NewSparse()
 		w.Program.Load(m)
-		mach := &cpu.Machine{Mem: m, Hier: hier, CoreID: 0, Pred: bpred.New(opts.Pred)}
+		mach := &cpu.Machine{Mem: m, Hier: hier, CoreID: 0, Pred: preds[strand]}
 		return smt.Thread{Core: inorder.New(mach, opts.InOrder, w.Program.Entry), Mach: mach}
 	}
-	c, err := smt.New(mk(wa), mk(wb))
+	c, err := smt.New(mk(0, wa), mk(1, wb))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -24,7 +24,7 @@ import (
 // keys distinct configurations identically. If a deliberate
 // configuration or encoding change lands, update this constant in the
 // same commit.
-const goldenDefaultFingerprint = "hier{l1i=cache{name=L1I size=32768 ways=4 line=64 hitlat=1 mshrs=4} l1d=cache{name=L1D size=32768 ways=4 line=64 hitlat=2 mshrs=8} l2=cache{name=L2 size=4194304 ways=8 line=64 hitlat=20 mshrs=32} l2banks=8 dram{lat=300 banks=16 busy=24} prefetch=none stride{entries=0 degree=0 minconf=0} dtlb=tlb{entries=0 ways=0 pagebits=0 misslat=0}}|bpred{gshare=14 btb=2048 ras=8}|inorder{width=2 loads=4 sb=8 taken=2 mispred=8}|ooo{fetch=2 issue=2 commit=2 rob=32 iq=16 lsq=16 spec=true taken=1 mispred=10}|ooo{fetch=4 issue=4 commit=4 rob=128 iq=64 lsq=64 spec=true taken=1 mispred=14}|sst{width=2 replay=2 ckpts=4 dq=64 ssb=32 strand2=true scoutdq=false deferlong=true longmin=10 ckptmiss=true ckptbr=true taken=2 mispred=8 rollback=6 secdelay=false secnofwd=false secssb=false}|run{cycles=0 timeout=0 livelock=0}|faults{}"
+const goldenDefaultFingerprint = "hier{l1i=cache{name=L1I size=32768 ways=4 line=64 hitlat=1 mshrs=4} l1d=cache{name=L1D size=32768 ways=4 line=64 hitlat=2 mshrs=8} l2=cache{name=L2 size=4194304 ways=8 line=64 hitlat=20 mshrs=32} l2banks=8 dram{lat=300 banks=16 busy=24} prefetch=none stride{entries=0 degree=0 minconf=0} dtlb=tlb{entries=0 ways=0 pagebits=0 misslat=0}}|bpred{kind=gshare share=part gshare=14 btb=2048 ras=8 tagetbl=4 tagebits=10 tagetag=9}|inorder{width=2 loads=4 sb=8 taken=2 mispred=8}|ooo{fetch=2 issue=2 commit=2 rob=32 iq=16 lsq=16 spec=true taken=1 mispred=10}|ooo{fetch=4 issue=4 commit=4 rob=128 iq=64 lsq=64 spec=true taken=1 mispred=14}|sst{width=2 replay=2 ckpts=4 dq=64 ssb=32 strand2=true scoutdq=false deferlong=true longmin=10 ckptmiss=true ckptbr=true taken=2 mispred=8 rollback=6 secdelay=false secnofwd=false secssb=false}|run{cycles=0 timeout=0 livelock=0}|faults{}"
 
 func TestFingerprintGolden(t *testing.T) {
 	got := DefaultOptions().Fingerprint()
@@ -73,6 +73,14 @@ func TestFingerprintStableAndDiscriminating(t *testing.T) {
 	mutations := map[string]func(*Options){
 		"hier":     func(o *Options) { o.Hier.L2.SizeBytes *= 2 },
 		"pred":     func(o *Options) { o.Pred.GshareBits++ },
+		// Predictor kind and share mode must discriminate on their own:
+		// two runs differing only here may never share a cache or pool
+		// entry (a TAGE machine is not a reset gshare machine).
+		"predkind":  func(o *Options) { o.Pred.Kind = bpred.TAGE },
+		"predshare": func(o *Options) { o.Pred.Share = bpred.ShareHashed },
+		"tagetbl":   func(o *Options) { o.Pred.TageTables = 3 },
+		"tagebits":  func(o *Options) { o.Pred.TageTableBits++ },
+		"tagetag":   func(o *Options) { o.Pred.TageTagBits++ },
 		"inorder":  func(o *Options) { o.InOrder.Width++ },
 		"ooo":      func(o *Options) { o.OOO.ROBSize++ },
 		"ooolg":    func(o *Options) { o.OOOLg.ROBSize++ },
@@ -111,7 +119,7 @@ func TestFingerprintCoversEveryField(t *testing.T) {
 		{"mem.DRAMConfig", reflect.TypeOf(mem.DRAMConfig{}), 3},
 		{"mem.TLBConfig", reflect.TypeOf(mem.TLBConfig{}), 4},
 		{"mem.StridePrefetcherConfig", reflect.TypeOf(mem.StridePrefetcherConfig{}), 3},
-		{"bpred.Config", reflect.TypeOf(bpred.Config{}), 3},
+		{"bpred.Config", reflect.TypeOf(bpred.Config{}), 8},
 		{"inorder.Config", reflect.TypeOf(inorder.Config{}), 5},
 		{"ooo.Config", reflect.TypeOf(ooo.Config{}), 9},
 		{"core.Config", reflect.TypeOf(core.Config{}), 17},

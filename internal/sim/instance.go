@@ -174,6 +174,7 @@ func (in *Instance) Run(ctx context.Context, prog *asm.Program, opts Options) (O
 	out.Core = detachCore(in.core)
 	out.Mach = &cpu.Machine{
 		Hier:     in.mach.Hier.Detach(),
+		Pred:     in.mach.Pred.Detach(),
 		CoreID:   in.mach.CoreID,
 		Coherent: in.mach.Coherent,
 	}

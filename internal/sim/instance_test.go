@@ -27,7 +27,13 @@ import (
 // side.
 func pooledRun(t *testing.T, in *Instance, prog *asm.Program, plan *faults.Plan) (Outcome, []byte, []byte) {
 	t.Helper()
-	opts := fuzzFaultOpts()
+	return pooledRunWith(t, in, prog, plan, fuzzFaultOpts())
+}
+
+// pooledRunWith is pooledRun under caller-chosen base options (which
+// must match the shape the instance was built with).
+func pooledRunWith(t *testing.T, in *Instance, prog *asm.Program, plan *faults.Plan, opts Options) (Outcome, []byte, []byte) {
+	t.Helper()
 	opts.Faults = plan
 	opts.Metrics = obs.NewRegistry()
 	tr := obs.NewTrace()
@@ -52,9 +58,16 @@ func pooledRun(t *testing.T, in *Instance, prog *asm.Program, plan *faults.Plan)
 // and on a fresh machine, and requires every observable to match.
 func checkPooledSeed(t *testing.T, in *Instance, prog *asm.Program, plan *faults.Plan) {
 	t.Helper()
+	checkPooledSeedWith(t, in, prog, plan, fuzzFaultOpts())
+}
+
+// checkPooledSeedWith is checkPooledSeed under caller-chosen base
+// options, so the oracle extends to non-default predictor shapes.
+func checkPooledSeedWith(t *testing.T, in *Instance, prog *asm.Program, plan *faults.Plan, opts Options) {
+	t.Helper()
 	k := in.Kind()
-	fresh, fm, ft := ffRun(t, k, prog, plan, false)
-	pooled, pm, pt := pooledRun(t, in, prog, plan)
+	fresh, fm, ft := ffRunWith(t, k, prog, plan, false, opts)
+	pooled, pm, pt := pooledRunWith(t, in, prog, plan, opts)
 	if fresh.Cycles != pooled.Cycles || fresh.Retired != pooled.Retired {
 		t.Errorf("%v: fresh %d cycles/%d retired, pooled %d cycles/%d retired",
 			k, fresh.Cycles, fresh.Retired, pooled.Cycles, pooled.Retired)

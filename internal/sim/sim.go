@@ -314,6 +314,9 @@ func (o Outcome) PublishObs(r *obs.Registry) {
 	}
 	if o.Mach != nil {
 		o.Mach.Hier.PublishObs(r)
+		if o.Mach.Pred != nil {
+			o.Mach.Pred.Stats.PublishObs(r)
+		}
 	}
 }
 

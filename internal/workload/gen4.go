@@ -1,0 +1,172 @@
+package workload
+
+import (
+	"rocksim/internal/asm"
+	"rocksim/internal/isa"
+)
+
+// Predicting a DEFERRED branch is harder than predicting a resolved one:
+// a deferred branch trains at replay resolution, hundreds of cycles
+// after fetch, so the data-dependent bits it contributes to global
+// history are stale by the whole in-flight window. The two workloads
+// below interleave the deferred pattern branches with register-resident
+// "ruler" branches that resolve (and shift history) at execute time in
+// the runahead stream: position within the pattern is recoverable from
+// history — but only from MORE history than a 14-bit gshare window
+// holds, which is exactly the regime TAGE's long geometric tables own.
+
+// brfieldPattern drives brfield's deferred data branch: period 24,
+// not-taken at positions 8, 13 and 19. All three zeros sit 8-19
+// iterations past the period-24 ruler's marker: far enough that a
+// 14-bit window (4-5 iterations of fresh ruler bits) never sees the
+// marker, near enough that a 64-bit window (~21 iterations) always
+// does. The zeros share their period-6 phases with taken positions, so
+// the short ruler alone cannot separate them either.
+var brfieldPattern = [24]uint64{
+	1, 1, 1, 1, 1, 1, 1, 1, 0, 1, 1, 1,
+	1, 0, 1, 1, 1, 1, 1, 0, 1, 1, 1, 1,
+}
+
+// BranchField is the deferred-branch pattern microbenchmark: a single
+// pass over a cold array (every load a compulsory miss, so under SST the
+// dependent branch always defers), branching on a stored bit pattern of
+// period 24, with register-resident period-6 and period-24 ruler
+// branches per iteration. The targeted probe for replay-time (deferred)
+// misprediction cost: a short-history predictor cannot localize the
+// pattern zeros, a long-history one can.
+func BranchField(s Scale) (*Spec, error) {
+	iters := 6000
+	if s == ScaleFull {
+		iters = 50000
+	}
+	const base = 0xb000000
+
+	b := asm.NewBuilder(asm.DefaultTextBase)
+	b.MovImm64(rAddr, rScr, base)
+	b.MovImm64(rIter, rScr, int64(iters))
+	b.Movi(rAcc, 0)
+	b.Movi(rTmp2, 0) // short ruler phase 0..5
+	b.Movi(rVal2, 0) // long ruler phase 0..23
+	b.Movi(rMask, 6)
+	b.Movi(rMask2, 24)
+	b.Label("scan")
+	b.Ld(isa.OpLd64, rVal, rAddr, 0)
+	b.Br(isa.OpBeq, rVal, isa.RegZero, "skip") // data-dependent, deferred
+	b.Opi(isa.OpAddi, rAcc, rAcc, 1)
+	b.Label("skip")
+	b.Opi(isa.OpAddi, rTmp2, rTmp2, 1)
+	b.Opi(isa.OpAddi, rVal2, rVal2, 1)
+	b.Opi(isa.OpAddi, rAddr, rAddr, 64)
+	b.Br(isa.OpBne, rTmp2, rMask, "noresetA") // fresh ruler: NT once per 6
+	b.Movi(rTmp2, 0)
+	b.Label("noresetA")
+	b.Br(isa.OpBne, rVal2, rMask2, "noresetB") // fresh ruler: NT once per 24
+	b.Movi(rVal2, 0)
+	b.Label("noresetB")
+	b.Opi(isa.OpAddi, rIter, rIter, -1)
+	b.Br(isa.OpBne, rIter, isa.RegZero, "scan")
+	b.St(isa.OpSt64, rAcc, isa.RegZero, 144)
+	b.Halt()
+
+	// One line per iteration; word 0 holds the pattern bit. Single pass,
+	// so the periodic pattern never has to agree with an array wrap.
+	img := make([]uint64, iters*8)
+	for i := 0; i < iters; i++ {
+		img[i*8] = brfieldPattern[i%len(brfieldPattern)]
+	}
+	b.Data(base, quads(img))
+
+	prog, err := b.Finish()
+	if err != nil {
+		return nil, err
+	}
+	return &Spec{
+		Name:        "brfield",
+		Class:       ClassMicro,
+		Standin:     "deferred data-dependent branches",
+		Description: "cold-array walk branching on a period-24 bit pattern: every data branch defers, position needs history beyond gshare's window",
+		Program:     prog,
+		ApproxInsts: uint64(iters) * 10,
+	}, nil
+}
+
+// loopnestPattern drives loopnest's deferred data branch over the global
+// inner-iteration index, period 36 (one short + one long inner loop).
+// The zeros sit 8+ iterations away from every loop boundary — inside the
+// stretch where a 14-bit window sees only taken back-edges — while a
+// 64-bit window always covers at least one loop-exit marker and so
+// pins the position.
+var loopnestPattern = [36]uint64{
+	1, 1, 1, 1, 1, 1, 1, 1, 1, 0, 1, 1, // short loop: zero at 9
+	1, 1, 1, 1, 1, 1, 1, 1, 1, 0, 1, 1, // long loop: zeros at 21, 26, 31
+	1, 1, 0, 1, 1, 1, 1, 0, 1, 1, 1, 1,
+}
+
+// loopNestTrips are loopnest's alternating inner trip counts. The short
+// loop's exit context fits a 14-bit gshare window; the long loop's
+// cannot — so gshare learns only the short exits while TAGE's 32/64-bit
+// tables learn both.
+var loopNestTrips = [2]int64{12, 24}
+
+// LoopNest is the variable-trip inner-loop microbenchmark: inner loops
+// alternate 12 and 24 iterations (register-resident control, so the exit
+// branches resolve at fetch and stamp loop boundaries into history),
+// while each inner iteration loads a cold pattern word and branches on
+// it — a compulsory miss, so the pattern branch always defers under SST
+// and its mispredicts surface at replay as RbBranch rollbacks.
+func LoopNest(s Scale) (*Spec, error) {
+	outer := 1500
+	if s == ScaleFull {
+		outer = 12000
+	}
+	const base = 0xb800000
+
+	b := asm.NewBuilder(asm.DefaultTextBase)
+	b.MovImm64(rAddr, rScr, base)
+	b.MovImm64(rIter, rScr, int64(outer))
+	b.Movi(rAcc, 0)
+	b.Movi(rVal2, int32(loopNestTrips[0]))
+	b.Label("outer")
+	b.Opi(isa.OpAndi, rTmp, rIter, 1)
+	b.Op(isa.OpSll, rInner, rVal2, rTmp) // trip = 12 << (iter & 1)
+	b.Label("inner")
+	b.Ld(isa.OpLd64, rVal, rAddr, 0)
+	b.Br(isa.OpBeq, rVal, isa.RegZero, "skip") // deferred pattern branch
+	b.Opi(isa.OpAddi, rAcc, rAcc, 1)
+	b.Label("skip")
+	b.Opi(isa.OpAddi, rAddr, rAddr, 64)
+	b.Opi(isa.OpAddi, rInner, rInner, -1)
+	b.Br(isa.OpBne, rInner, isa.RegZero, "inner") // fresh loop ruler
+	b.Opi(isa.OpAddi, rIter, rIter, -1)
+	b.Br(isa.OpBne, rIter, isa.RegZero, "outer")
+	b.St(isa.OpSt64, rAcc, isa.RegZero, 152)
+	b.Halt()
+
+	// The global inner index advances trips[1]+trips[0] per outer pair;
+	// rIter counts down, so odd rIter values (first of each pair, when
+	// outer is even) take the long trip. The image only needs the lines
+	// actually touched: one per inner iteration, single pass.
+	totalInner := 0
+	it := int64(outer)
+	for ; it > 0; it-- {
+		totalInner += int(loopNestTrips[0] << (it & 1))
+	}
+	img := make([]uint64, totalInner*8)
+	for g := 0; g < totalInner; g++ {
+		img[g*8] = loopnestPattern[g%len(loopnestPattern)]
+	}
+	b.Data(base, quads(img))
+
+	prog, err := b.Finish()
+	if err != nil {
+		return nil, err
+	}
+	return &Spec{
+		Name:        "loopnest",
+		Class:       ClassMicro,
+		Standin:     "variable-trip inner loops",
+		Description: "alternating 12/24-trip inner loops with a deferred pattern branch per iteration: zeros hide beyond gshare's window",
+		Program:     prog,
+		ApproxInsts: uint64(totalInner) * 6,
+	}, nil
+}

@@ -127,14 +127,21 @@ var ByName = map[string]Generator{
 	"chase":    PointerChase,
 	"randarr":  RandomArray,
 	"dense":    DenseCompute,
+	"brfield":  BranchField,
+	"loopnest": LoopNest,
 }
 
 // Names lists all workload names in presentation order.
 var Names = []string{
 	"oltp", "jbb", "web", "erp", "btree", "hashjoin", "appsrv",
 	"mcf", "stream", "gcc", "quantum",
-	"chase", "randarr", "dense",
+	"chase", "randarr", "dense", "brfield", "loopnest",
 }
+
+// LoopHeavyNames lists the loop-heavy workloads the B1 predictor grid
+// reports on: branch behavior dominated by loops whose history exceeds
+// a short global-history window.
+var LoopHeavyNames = []string{"brfield", "loopnest", "gcc", "dense"}
 
 // CommercialNames lists the commercial-class workloads (the paper's
 // headline suite).

@@ -96,7 +96,7 @@ func TestFacadeKindNames(t *testing.T) {
 	if len(rocksim.CommercialWorkloadNames()) != 4 {
 		t.Error("commercial suite wrong size")
 	}
-	if len(rocksim.ExperimentIDs()) != 20 {
+	if len(rocksim.ExperimentIDs()) != 21 {
 		t.Errorf("experiments = %d", len(rocksim.ExperimentIDs()))
 	}
 }
